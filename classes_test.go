@@ -1,0 +1,61 @@
+package sre_test
+
+import (
+	"math"
+	"testing"
+
+	"sre"
+)
+
+func TestForwardingClasses(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: -1})
+	defer v.Release()
+	classes, err := v.ForwardingClasses("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) == 0 {
+		t.Fatal("no forwarding classes from A")
+	}
+	// The primary class: direct A→C for 128/2 with all relevant links
+	// up (MinFailures 0), covering a quarter of the address space...
+	// 128/2 = 2^30 addresses.
+	var direct *sre.ForwardingClass
+	for i := range classes {
+		c := &classes[i]
+		if len(c.Path) == 2 && c.Path[0] == "A" && c.Path[1] == "C" && c.Delivered {
+			direct = c
+		}
+	}
+	if direct == nil {
+		t.Fatal("missing direct A→C class")
+	}
+	if direct.MinFailures != 0 {
+		t.Errorf("direct path min failures = %d, want 0", direct.MinFailures)
+	}
+	if math.Abs(direct.Packets-math.Pow(2, 30)) > 1 {
+		t.Errorf("direct path packets = %g, want 2^30 (the 128/2 owned space)", direct.Packets)
+	}
+	// Backup class via B requires at least one failure for 128/2, but
+	// 192/2 uses it from zero failures — combined class MinFailures 0.
+	for _, c := range classes {
+		if len(c.Path) == 3 && c.Delivered && c.MinFailures > 1 {
+			t.Errorf("3-hop class should activate within one failure: %v", c)
+		}
+	}
+	if s := classes[0].String(); s == "" {
+		t.Error("String should render")
+	}
+	if _, err := v.ForwardingClasses("nope"); err == nil {
+		t.Error("unknown router must error")
+	}
+}
+
+func TestRouterNames(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: 0})
+	defer v.Release()
+	names := v.RouterNames()
+	if len(names) != 3 || names[0] != "A" || names[2] != "C" {
+		t.Fatalf("RouterNames = %v", names)
+	}
+}

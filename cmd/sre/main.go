@@ -1,0 +1,249 @@
+// Command sre is the command-line network configuration verifier: it
+// loads a network description (topology + router configurations in the
+// textual format of the config package), symbolically executes it, and
+// answers property queries.
+//
+// Usage:
+//
+//	sre -config net.txt tolerance  <router> <prefix>
+//	sre -config net.txt waypoint   <router> <prefix> <waypoint>
+//	sre -config net.txt isolation  <router> <prefix>
+//	sre -config net.txt probability <router> <prefix> [-plink 0.001] [-pnode 0]
+//	sre -config net.txt loadbalance <router> <prefix>
+//	sre -config net.txt mine                      # all specs
+//	sre -config net.txt diff -after net2.txt      # config diffing
+//	sre -config net.txt pfecs                     # PFEC summary
+//	sre -config net.txt -reqs reqs.txt check      # verify a requirements file
+//
+// Global flags: -k (failure budget, default 3), -abstract, -noecmp.
+// The check command exits non-zero when any requirement fails, so it
+// slots into CI pipelines that gate configuration changes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"sre"
+)
+
+var (
+	configPath = flag.String("config", "", "network description file (required)")
+	afterPath  = flag.String("after", "", "changed network file (diff command)")
+	reqsPath   = flag.String("reqs", "", "requirements file (check command)")
+	kFlag      = flag.Int("k", 3, "failure budget: explore up to k simultaneous link failures (-1 = all)")
+	abstract   = flag.Bool("abstract", false, "enable AS-path abstraction (§7.3)")
+	noECMP     = flag.Bool("noecmp", false, "disable multipath route selection")
+	pLink      = flag.Float64("plink", 0.001, "link failure probability (probability command)")
+	pNode      = flag.Float64("pnode", 0, "node failure probability (probability command; 0 = links only)")
+)
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sre -config <file> <command> [args]")
+	fmt.Fprintln(os.Stderr, "commands: tolerance, waypoint, isolation, probability, loadbalance, mine, diff, pfecs")
+	os.Exit(2)
+}
+
+func main() {
+	flag.Parse()
+	args := flag.Args()
+	if *configPath == "" || len(args) == 0 {
+		usage()
+	}
+	net, err := sre.LoadNetwork(*configPath)
+	if err != nil {
+		fatal(err)
+	}
+	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "mine":
+		specs, err := sre.MineSpecs(net, *kFlag, opts)
+		if err != nil {
+			fatal(err)
+		}
+		printSpecs(net, specs, *kFlag)
+		return
+	case "diff":
+		if *afterPath == "" {
+			fatal(fmt.Errorf("diff needs -after <file>"))
+		}
+		after, err := sre.LoadNetwork(*afterPath)
+		if err != nil {
+			fatal(err)
+		}
+		diffs, err := sre.Diff(net, after, *kFlag, sre.LinkFailures(*pLink))
+		if err != nil {
+			fatal(err)
+		}
+		printDiffs(diffs)
+		return
+	}
+
+	v, err := sre.NewVerifier(net, opts)
+	if err != nil {
+		fatal(err)
+	}
+	defer v.Release()
+	switch cmd {
+	case "check":
+		if *reqsPath == "" {
+			fatal(fmt.Errorf("check needs -reqs <file>"))
+		}
+		f, err := os.Open(*reqsPath)
+		if err != nil {
+			fatal(err)
+		}
+		reqs, err := sre.ParseRequirements(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		results, all := v.CheckRequirements(reqs)
+		for _, r := range results {
+			status := "ok  "
+			if !r.Holds {
+				status = "FAIL"
+			}
+			detail := r.Got
+			if r.Err != nil {
+				detail = r.Err.Error()
+			}
+			fmt.Printf("%s line %-3d %-12s %s %s: %s\n", status, r.Req.Line, r.Req.Kind, r.Req.Src, r.Req.Prefix, detail)
+		}
+		if !all {
+			os.Exit(1)
+		}
+	case "pfecs":
+		srcT, spfT := v.Stages()
+		fmt.Printf("PFECs: %d  (SRC %.3fs, SPF %.3fs)\n", v.NumPFECs(), srcT, spfT)
+	case "tolerance":
+		need(rest, 2)
+		k, err := v.FailureTolerance(rest[0], rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(formatTolerance(k, *kFlag))
+	case "waypoint":
+		need(rest, 3)
+		k, err := v.WaypointTolerance(rest[0], rest[1], rest[2])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(formatTolerance(k, *kFlag))
+	case "isolation":
+		need(rest, 2)
+		k, err := v.IsolationTolerance(rest[0], rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(formatTolerance(k, *kFlag))
+	case "probability":
+		need(rest, 2)
+		model := sre.LinkFailures(*pLink)
+		if *pNode > 0 {
+			model = sre.NodeAndLinkFailures(*pLink, *pNode)
+		}
+		p, err := v.Probability(rest[0], rest[1], model)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%.9f\n", p)
+	case "loadbalance":
+		need(rest, 2)
+		n, err := v.LoadBalancedPaths(rest[0], rest[1])
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(n)
+	default:
+		usage()
+	}
+}
+
+func need(args []string, n int) {
+	if len(args) != n {
+		usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sre:", err)
+	os.Exit(1)
+}
+
+func formatTolerance(k, budget int) string {
+	switch {
+	case k == sre.InfiniteTolerance && budget >= 0:
+		return fmt.Sprintf(">=%d (no violation within the explored budget)", budget)
+	case k == sre.InfiniteTolerance:
+		return "infinite (no failure combination violates the property)"
+	case k < 0:
+		return "-1 (violated even with all links up)"
+	default:
+		return fmt.Sprint(k)
+	}
+}
+
+func printSpecs(net *sre.Network, specs *sre.Specs, budget int) {
+	type row struct {
+		src, prefix string
+		k           int
+	}
+	rows := make([]row, 0, len(specs.ReachTolerance))
+	for key, k := range specs.ReachTolerance {
+		rows = append(rows, row{net.Topology.Name(key.Src), key.Prefix.String(), k})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].src != rows[j].src {
+			return rows[i].src < rows[j].src
+		}
+		return rows[i].prefix < rows[j].prefix
+	})
+	fmt.Printf("# mined %d reachability specs (k explored up to %d)\n", len(rows), budget)
+	for _, r := range rows {
+		fmt.Printf("reach %-12s -> %-18s tolerance %s\n", r.src, r.prefix, formatTolerance(r.k, budget))
+	}
+	if len(specs.Isolated) > 0 {
+		fmt.Printf("# %d isolation specs\n", len(specs.Isolated))
+		for _, key := range specs.Isolated {
+			fmt.Printf("isolated %s -> %s\n", net.Topology.Name(key.Src), key.Prefix)
+		}
+	}
+	lb := 0
+	for _, n := range specs.LoadBalance {
+		if n > 1 {
+			lb++
+		}
+	}
+	fmt.Printf("# %d pairs load-balanced over >1 path\n", lb)
+	groups := specs.Generalize()
+	fmt.Printf("# generalized to %d prefix-group specs:\n", len(groups))
+	for _, g := range groups {
+		if g.Members > 1 {
+			fmt.Printf("group %-12s -> %-18s tolerance %s (%d prefixes)\n",
+				net.Topology.Name(g.Src), g.Prefix, formatTolerance(g.K, budget), g.Members)
+		}
+	}
+}
+
+func printDiffs(diffs []sre.Difference) {
+	if len(diffs) == 0 {
+		fmt.Println("no behavioural differences")
+		return
+	}
+	for _, d := range diffs {
+		kind := "visible with all links up"
+		if d.FailuresOnly {
+			kind = "only under failures (invisible to no-failure diffing)"
+		}
+		fmt.Printf("%s -> %s: %s\n", d.Src, d.Prefix, kind)
+		fmt.Printf("  tolerance %d -> %d, probability %.6f -> %.6f\n",
+			d.ToleranceDelta[0], d.ToleranceDelta[1], d.ProbDelta[0], d.ProbDelta[1])
+		if len(d.WitnessDown) > 0 {
+			fmt.Printf("  witness failure scenario: links down %v\n", d.WitnessDown)
+		}
+	}
+}

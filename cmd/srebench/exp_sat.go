@@ -1,0 +1,55 @@
+package main
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"sre/internal/baselines"
+	"sre/internal/workload"
+)
+
+// table3 reproduces Table 3 (§8.6 "SAT or BDD?"): symbolic route
+// computation with Hoyan-style DNF/SAT topology conditions instead of
+// BDDs — peak condition length, running time, and timeouts, for a
+// sample of prefixes per WAN and k = 0..3.
+func table3(sc scale) {
+	header("Table 3 — DNF/SAT topology-condition explosion (Hoyan-substitute)")
+	names := []workload.WANName{workload.Bics}
+	if sc.paper {
+		names = append(names, workload.Columbus, workload.USCarrier)
+	}
+	r := rand.New(rand.NewSource(*seedFlag))
+	for _, name := range names {
+		net := workload.WAN(name, workload.BGP)
+		prefixes := net.AllPrefixes()
+		sample := make([]route0, 0, sc.hoyanPrefix)
+		for _, idx := range r.Perm(len(prefixes))[:sc.hoyanPrefix] {
+			sample = append(sample, prefixes[idx])
+		}
+		fmt.Printf("\n%s (%d prefixes sampled)\n", name, len(sample))
+		t := newTable("k", "max TC length", "avg time", "timeouts")
+		for k := 0; k <= sc.maxK; k++ {
+			maxLen := 0
+			timeouts := 0
+			var total time.Duration
+			for _, pfx := range sample {
+				h := &baselines.Hoyan{Net: net, PruneK: k,
+					TermLimit: 200000, Timeout: *budget / 4}
+				res := h.ComputePrefix(pfx)
+				if res.TimedOut {
+					timeouts++
+				}
+				if res.PeakTCLength > maxLen {
+					maxLen = res.PeakTCLength
+				}
+				total += res.Elapsed
+			}
+			t.add(fmt.Sprint(k), fmt.Sprint(maxLen),
+				fmtDur(total/time.Duration(len(sample))),
+				fmt.Sprintf("%d/%d", timeouts, len(sample)))
+		}
+		t.print()
+	}
+	fmt.Println("  (the BDD engine handles the same computations in milliseconds — see fig5/fig9)")
+}

@@ -1,0 +1,167 @@
+// Command srebench regenerates every table and figure of the paper's
+// evaluation (§8) on the synthetic datasets, printing the same rows or
+// series each one reports. Absolute numbers differ from the paper (the
+// substrate is this reproduction, not the authors' testbed); the shapes
+// — who wins, by what order of magnitude, where crossovers fall — are
+// the reproduction target, recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	srebench -exp fig5            # one experiment
+//	srebench -exp all             # everything
+//	srebench -exp fig5 -scale paper -budget 300s
+//
+// Experiments: fig5 fig6 fig7 fig8 diff fig9 fig10 table2 fig11 table3
+// fig13 fig14.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+)
+
+var (
+	expFlag   = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, all)")
+	scaleFlag = flag.String("scale", "small", "workload scale: small (CI-friendly) or paper (full sizes; hours)")
+	budget    = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
+	seedFlag  = flag.Int64("seed", 1, "base seed for randomized selections")
+)
+
+// scale holds the workload sizes per -scale setting.
+type scale struct {
+	paper       bool
+	maxK        int
+	fatTrees    []int // arities
+	netDiceWANs int
+	campusSnaps int
+	campusVLANs int
+	hoyanPrefix int
+}
+
+func getScale() scale {
+	switch *scaleFlag {
+	case "paper":
+		return scale{paper: true, maxK: 3, fatTrees: []int{4, 8, 10, 16, 20}, netDiceWANs: 90, campusSnaps: 67, campusVLANs: 1000, hoyanPrefix: 10}
+	default:
+		return scale{maxK: 3, fatTrees: []int{4, 8}, netDiceWANs: 3, campusSnaps: 5, campusVLANs: 40, hoyanPrefix: 4}
+	}
+}
+
+func main() {
+	flag.Parse()
+	sc := getScale()
+	exps := map[string]func(scale){
+		"fig5":   fig5,
+		"fig6":   fig6,
+		"fig7":   fig7,
+		"fig8":   fig8,
+		"diff":   diffExp,
+		"fig9":   fig9,
+		"fig10":  fig10,
+		"table2": table2,
+		"fig11":  fig11,
+		"table3": table3,
+		"fig13":  fig13,
+		"fig14":  fig14,
+	}
+	order := []string{"fig5", "fig6", "fig7", "fig8", "diff", "fig9", "fig10", "table2", "fig11", "table3", "fig13", "fig14"}
+	if *expFlag == "all" {
+		for _, name := range order {
+			exps[name](sc)
+		}
+		return
+	}
+	f, ok := exps[*expFlag]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; one of %s, all\n", *expFlag, strings.Join(order, ", "))
+		os.Exit(2)
+	}
+	f(sc)
+}
+
+// header prints an experiment banner.
+func header(title string) {
+	fmt.Printf("\n════ %s ════\n", title)
+}
+
+// table is a simple aligned-column printer.
+type table struct {
+	cols []string
+	rows [][]string
+}
+
+func newTable(cols ...string) *table { return &table{cols: cols} }
+
+func (t *table) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addf(format string, args ...interface{}) {
+	t.add(strings.Split(fmt.Sprintf(format, args...), "|")...)
+}
+
+func (t *table) print() {
+	width := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		width[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(width) && len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", width[i], c)
+		}
+		fmt.Println("  " + strings.Join(parts, "  "))
+	}
+	line(t.cols)
+	sep := make([]string, len(t.cols))
+	for i := range sep {
+		sep[i] = strings.Repeat("─", width[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// cellTimer tracks per-system soft budgets: once a system blows the
+// budget, larger parameters are skipped ("—" cells), mirroring the
+// paper's timeout handling.
+type cellTimer struct {
+	blown map[string]bool
+}
+
+func newCellTimer() *cellTimer { return &cellTimer{blown: make(map[string]bool)} }
+
+// run executes f unless the system already blew its budget; it returns
+// the formatted duration or a skip marker.
+func (ct *cellTimer) run(system string, f func()) string {
+	if ct.blown[system] {
+		return "—"
+	}
+	start := time.Now()
+	f()
+	d := time.Since(start)
+	if d > *budget {
+		ct.blown[system] = true
+	}
+	return fmtDur(d)
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.0fms", float64(d.Milliseconds()))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}

@@ -1,0 +1,58 @@
+// Command topogen generates the synthetic datasets of the evaluation in
+// the textual network format, for use with the sre CLI or external
+// tools.
+//
+// Usage:
+//
+//	topogen -kind wan -name Bics -proto bgp            > bics.txt
+//	topogen -kind fattree -arity 8 -proto ospf         > ft80.txt
+//	topogen -kind campus -vlans 60 -snapshot 3         > campus.txt
+//	topogen -kind random -routers 40 -links 60 -seed 7 > rand.txt
+//	topogen -kind figure1                              > walkthrough.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sre/internal/config"
+	"sre/internal/workload"
+)
+
+var (
+	kind     = flag.String("kind", "figure1", "topology kind: figure1, wan, fattree, campus, random")
+	name     = flag.String("name", "Bics", "WAN name: Bics, Columbus, USCarrier")
+	proto    = flag.String("proto", "bgp", "protocol: bgp or ospf")
+	arity    = flag.Int("arity", 4, "fat-tree arity (even)")
+	vlans    = flag.Int("vlans", 60, "campus VLAN count")
+	snapshot = flag.Int("snapshot", 0, "campus snapshot index (0-66)")
+	routers  = flag.Int("routers", 20, "random WAN router count")
+	links    = flag.Int("links", 30, "random WAN link count")
+	seed     = flag.Int64("seed", 1, "random WAN seed")
+)
+
+func main() {
+	flag.Parse()
+	p := workload.BGP
+	if *proto == "ospf" {
+		p = workload.OSPF
+	}
+	var net *config.Network
+	switch *kind {
+	case "figure1":
+		net = workload.Figure1()
+	case "wan":
+		net = workload.WAN(workload.WANName(*name), p)
+	case "fattree":
+		net = workload.FatTree(*arity, p)
+	case "campus":
+		net = workload.Campus(workload.CampusOptions{VLANs: *vlans, Snapshot: *snapshot})
+	case "random":
+		net = workload.SyntheticWAN("rand", *routers, *links, p, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+	fmt.Print(config.Format(net))
+}

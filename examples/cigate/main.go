@@ -1,0 +1,74 @@
+// CI-gate example: the §2.1 "verifying changes" workflow end to end.
+//
+// A requirements file captures the network's contract. Before rolling
+// out a configuration change, the pipeline re-verifies every
+// requirement over the product space of packets and failures — catching
+// regressions that only manifest during failover, which per-snapshot
+// testing misses.
+//
+// Run with: go run ./examples/cigate
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sre"
+	"sre/internal/workload"
+)
+
+// The contract for the walkthrough network: 128/1 must survive one
+// failure, and 192/2 must never reach C around the waypoint B, under
+// any double failure.
+const contract = `
+reach         A 128.0.0.0/1  tolerance>=1
+reach         A 192.0.0.0/2  tolerance>=0
+waypoint-only A 192.0.0.0/2  via B  tolerance>=2
+probability   A 128.0.0.0/1  >=0.999  plink=0.001
+`
+
+func main() {
+	net := workload.Figure1()
+	reqs, err := sre.ParseRequirementsString(contract)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("=== verifying the current configuration ===")
+	if !runGate(net, reqs) {
+		log.Fatal("current configuration violates the contract")
+	}
+
+	// The proposed change: drop the inbound ACL on C (looks harmless —
+	// steady-state forwarding is identical).
+	proposed := net.Clone()
+	c := proposed.Topology.MustRouter("C")
+	a := proposed.Topology.MustRouter("A")
+	ac, _ := proposed.Topology.LinkBetween(a, c)
+	proposed.Router(c).Interfaces[ac].ACLIn = nil
+
+	fmt.Println("\n=== verifying the proposed change ===")
+	if runGate(proposed, reqs) {
+		fmt.Println("change approved")
+	} else {
+		fmt.Println("change REJECTED: it breaks the waypoint contract under failures")
+	}
+}
+
+// runGate verifies the requirements and prints a CI-style report.
+func runGate(net *sre.Network, reqs []sre.Requirement) bool {
+	v, err := sre.NewVerifier(net, sre.Options{MaxFailures: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer v.Release()
+	results, all := v.CheckRequirements(reqs)
+	for _, r := range results {
+		status := "ok  "
+		if !r.Holds {
+			status = "FAIL"
+		}
+		fmt.Printf("  %s %-13s %s %-14s → %s\n", status, r.Req.Kind, r.Req.Src, r.Req.Prefix, r.Got)
+	}
+	return all
+}

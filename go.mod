@@ -1,0 +1,3 @@
+module sre
+
+go 1.22

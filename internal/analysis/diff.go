@@ -1,0 +1,244 @@
+package analysis
+
+import (
+	"sre/internal/bdd"
+	"sre/internal/prob"
+	"sre/internal/route"
+	"sre/internal/symbol"
+	"sre/internal/topology"
+)
+
+// Differential analysis (§6.5): comparing two configurations (before and
+// after a change) by XOR-ing the topology BDDs of each property. Unlike
+// DNA, which only compares behaviour under no failures, the comparison
+// covers every failure combination within the explored budget, so
+// differences that manifest only under failures are caught.
+
+// Difference describes a behaviour change found for one (source, prefix)
+// reachability property.
+type Difference struct {
+	Src    topology.RouterID
+	Prefix route.Prefix
+	// DiffBDD encodes the (packet, failure) tuples whose reachability
+	// differs between the two configurations. It is False when only
+	// path-level (waypoint) behaviour changed.
+	DiffBDD bdd.Node
+	// PathsChanged is set when the (packet, failure) → forwarding-path
+	// relation differs even though end-to-end reachability may not:
+	// detected by XOR-ing waypoint property BDDs for every interior
+	// router of the delivering paths (§6.5 considers all properties,
+	// not just reachability).
+	PathsChanged bool
+	// Witness is one failure scenario exposing the difference: the
+	// variables assigned false are the failed links (others are up).
+	WitnessDownLinks []topology.LinkID
+	// ToleranceBefore/After compare failure tolerance.
+	ToleranceBefore, ToleranceAfter int
+	// ProbBefore/After compare reachability probabilities under the
+	// model passed to DiffReachability (zero model → zeros). When only
+	// paths changed, these carry the waypoint property's values.
+	ProbBefore, ProbAfter float64
+}
+
+// ChangedUnderNoFailures reports whether the difference is visible with
+// all links up (the only kind of difference DNA can detect).
+func (d *Difference) ChangedUnderNoFailures(p *Pipeline) bool {
+	return p.Sp.M.And(d.DiffBDD, p.Sp.AllLinksUp()) != bdd.False
+}
+
+// DiffReachability compares the reachability of every (source, prefix)
+// pair between two pipelines computed from the old and new
+// configurations. Both pipelines must share the same topology (the
+// change is configuration-only) but use separate symbolic spaces; the
+// comparison happens in the space of the "after" pipeline, where the
+// "before" property BDD is rebuilt from its PFECs.
+//
+// model may be nil to skip probability comparison.
+func DiffReachability(before, after *Pipeline, model *prob.LinkModel) []Difference {
+	m := after.Sp.M
+	var out []Difference
+	t := after.Net.Topology
+	prefixes := unionPrefixes(before, after)
+	for s := 0; s < t.NumRouters(); s++ {
+		src := topology.RouterID(s)
+		for _, pfx := range prefixes {
+			hdrAfter := after.OwnedHeaders(pfx)
+			propAfter := after.ReachPrefixBDD(src, pfx)
+			propBefore := transplantReach(before, after, src, pfx)
+			diff := m.Xor(propAfter, propBefore)
+			pathsChanged := false
+			var wpt topology.RouterID = -1
+			var wDiff bdd.Node = bdd.False
+			if diff == bdd.False {
+				// Reachability agrees everywhere; check waypoint
+				// properties for path-level changes.
+				wpt, wDiff = waypointDiff(before, after, src, pfx)
+				pathsChanged = wDiff != bdd.False
+				if !pathsChanged {
+					continue
+				}
+			}
+			d := Difference{Src: src, Prefix: pfx, DiffBDD: diff, PathsChanged: pathsChanged}
+			witness := diff
+			if witness == bdd.False {
+				witness = wDiff
+			}
+			if assign, ok := m.AnySat(witness); ok {
+				for v, val := range assign {
+					if v >= symbol.HeaderBits && !val { // a link assigned down
+						d.WitnessDownLinks = append(d.WitnessDownLinks, topology.LinkID(v-symbol.HeaderBits))
+					}
+				}
+			}
+			hdrBefore := before.OwnedHeaders(pfx)
+			if pathsChanged {
+				// Report the waypoint property's tolerance/probability:
+				// that is where the change shows.
+				wb := transplantWaypoint(before, after, src, pfx, wpt)
+				wa := after.WaypointBDD(src, after.OriginSet(pfx), wpt, hdrAfter)
+				d.ToleranceBefore = after.MinTolerance(wb, hdrAfter)
+				d.ToleranceAfter = after.MinTolerance(wa, hdrAfter)
+				if model != nil {
+					d.ProbBefore = after.MinProbability(wb, *model)
+					d.ProbAfter = after.MinProbability(wa, *model)
+				}
+			} else {
+				d.ToleranceBefore = before.MinTolerance(before.ReachPrefixBDD(src, pfx), hdrBefore)
+				d.ToleranceAfter = after.MinTolerance(propAfter, hdrAfter)
+				if model != nil {
+					d.ProbBefore = before.MinProbability(before.ReachPrefixBDD(src, pfx), *model)
+					d.ProbAfter = after.MinProbability(propAfter, *model)
+				}
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// transplantReach rebuilds the "before" reach property BDD inside the
+// "after" pipeline's symbolic space. Both spaces index header bits and
+// links identically (same topology), so the BDD is reconstructed from
+// the before-PFECs' paths by re-encoding each predicate.
+func transplantReach(before, after *Pipeline, s topology.RouterID, pfx route.Prefix) bdd.Node {
+	// When the two pipelines share one space the before property can be
+	// used directly.
+	if before.Sp == after.Sp {
+		return before.ReachPrefixBDD(s, pfx)
+	}
+	ma := after.Sp.M
+	dst := before.OriginSet(pfx)
+	reach := bdd.False
+	for _, pf := range before.PFECs(s) {
+		if !pf.Delivered || !dst[pf.Dst()] {
+			continue
+		}
+		reach = ma.Or(reach, copyBDD(before, after, pf.Pred))
+	}
+	// Header universe: the addresses owned by pfx in the BEFORE
+	// configuration, encoded in the after space.
+	hdr := after.Sp.Prefix(pfx)
+	for _, other := range before.Net.AllPrefixes() {
+		if other != pfx && pfx.Covers(other) {
+			hdr = ma.Diff(hdr, after.Sp.Prefix(other))
+		}
+	}
+	return ma.And(reach, hdr)
+}
+
+// waypointDiff looks for a path-level difference: an interior router of
+// some delivering path whose waypoint property BDD differs between the
+// two pipelines. It returns the first distinguishing waypoint and the
+// XOR of its property BDDs (False, -1 when none differs).
+func waypointDiff(before, after *Pipeline, s topology.RouterID, pfx route.Prefix) (topology.RouterID, bdd.Node) {
+	ma := after.Sp.M
+	dstB := before.OriginSet(pfx)
+	dstA := after.OriginSet(pfx)
+	cands := make(map[topology.RouterID]bool)
+	collect := func(p *Pipeline, dst map[topology.RouterID]bool) {
+		for _, pf := range p.PFECs(s) {
+			if !pf.Delivered || !dst[pf.Dst()] || len(pf.Path) < 3 {
+				continue
+			}
+			for _, r := range pf.Path[1 : len(pf.Path)-1] {
+				cands[r] = true
+			}
+		}
+	}
+	collect(before, dstB)
+	collect(after, dstA)
+	hdrAfter := after.OwnedHeaders(pfx)
+	for w := range cands {
+		wb := transplantWaypoint(before, after, s, pfx, w)
+		wa := after.WaypointBDD(s, dstA, w, hdrAfter)
+		if d := ma.Xor(wb, wa); d != bdd.False {
+			return w, d
+		}
+	}
+	return -1, bdd.False
+}
+
+// transplantWaypoint rebuilds the before-pipeline's waypoint property
+// BDD in the after space (see transplantReach).
+func transplantWaypoint(before, after *Pipeline, s topology.RouterID, pfx route.Prefix, w topology.RouterID) bdd.Node {
+	ma := after.Sp.M
+	dst := before.OriginSet(pfx)
+	reach := bdd.False
+	for _, pf := range before.PFECs(s) {
+		if !pf.Delivered || !dst[pf.Dst()] || !pf.Traverses(w) {
+			continue
+		}
+		if before.Sp == after.Sp {
+			reach = ma.Or(reach, pf.Pred)
+			continue
+		}
+		reach = ma.Or(reach, copyBDD(before, after, pf.Pred))
+	}
+	hdr := after.Sp.Prefix(pfx)
+	for _, other := range before.Net.AllPrefixes() {
+		if other != pfx && pfx.Covers(other) {
+			hdr = ma.Diff(hdr, after.Sp.Prefix(other))
+		}
+	}
+	return ma.And(reach, hdr)
+}
+
+// copyBDD structurally copies a BDD from the before-space into the
+// after-space. Variable indices agree between the spaces because both
+// are laid out over the same topology.
+func copyBDD(before, after *Pipeline, n bdd.Node) bdd.Node {
+	mb, ma := before.Sp.M, after.Sp.M
+	memo := make(map[bdd.Node]bdd.Node)
+	var rec func(bdd.Node) bdd.Node
+	rec = func(x bdd.Node) bdd.Node {
+		if x == bdd.False || x == bdd.True {
+			return x
+		}
+		if r, ok := memo[x]; ok {
+			return r
+		}
+		v := mb.Level(x)
+		r := ma.Ite(ma.Var(v), rec(mb.High(x)), rec(mb.Low(x)))
+		memo[x] = r
+		return r
+	}
+	return rec(n)
+}
+
+func unionPrefixes(a, b *Pipeline) []route.Prefix {
+	seen := make(map[route.Prefix]bool)
+	var out []route.Prefix
+	for _, p := range a.Net.AllPrefixes() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	for _, p := range b.Net.AllPrefixes() {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"testing"
+
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+func TestGeneralizeFoldsSiblings(t *testing.T) {
+	s := &Specs{ReachTolerance: map[PairKey]int{
+		// Four /26 siblings with equal tolerance fold into one /24.
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.0.0/26")}:   1,
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.0.64/26")}:  1,
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.0.128/26")}: 1,
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.0.192/26")}: 1,
+		// A pair with mismatched tolerance must not fold.
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.1.0/25")}:   0,
+		{Src: 1, Prefix: route.MustParsePrefix("10.0.1.128/25")}: 2,
+		// Different source: independent folding.
+		{Src: 2, Prefix: route.MustParsePrefix("10.0.0.0/26")}:  1,
+		{Src: 2, Prefix: route.MustParsePrefix("10.0.0.64/26")}: 1,
+	}}
+	groups := s.Generalize()
+	find := func(src topology.RouterID, p string) *GroupSpec {
+		pfx := route.MustParsePrefix(p)
+		for i := range groups {
+			if groups[i].Src == src && groups[i].Prefix == pfx {
+				return &groups[i]
+			}
+		}
+		return nil
+	}
+	if g := find(1, "10.0.0.0/24"); g == nil || g.K != 1 || g.Members != 4 {
+		t.Errorf("expected /24 group of 4 members, got %+v", g)
+	}
+	if find(1, "10.0.1.0/24") != nil {
+		t.Error("mismatched tolerances must not fold")
+	}
+	if g := find(1, "10.0.1.0/25"); g == nil || g.K != 0 {
+		t.Error("unfolded /25 should survive")
+	}
+	if g := find(2, "10.0.0.0/25"); g == nil || g.Members != 2 {
+		t.Errorf("source 2 should fold its two /26s into a /25, got %+v", g)
+	}
+	total := 0
+	for _, g := range groups {
+		total += g.Members
+	}
+	if total != len(s.ReachTolerance) {
+		t.Errorf("members must partition the specs: %d vs %d", total, len(s.ReachTolerance))
+	}
+}
+
+func TestGeneralizeEndToEnd(t *testing.T) {
+	// A line A—B where B originates four sibling /26s: mining + folding
+	// yields one /24-level spec for A.
+	net, err := config.ParseString(`
+topology
+  router A
+  router B
+  link A B
+end
+router A
+  ospf
+  exit
+end
+router B
+  ospf
+    network 10.0.0.0/26
+    network 10.0.0.64/26
+    network 10.0.0.128/26
+    network 10.0.0.192/26
+  exit
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := &Miner{Net: net, KMax: 2}
+	specs, err := mn.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := specs.Generalize()
+	if len(groups) != 1 {
+		t.Fatalf("want a single generalized spec, got %v", groups)
+	}
+	if groups[0].Prefix != route.MustParsePrefix("10.0.0.0/24") || groups[0].Members != 4 {
+		t.Errorf("got %+v, want the /24 with 4 members", groups[0])
+	}
+	if groups[0].K != 0 {
+		t.Errorf("line topology tolerance = %d, want 0", groups[0].K)
+	}
+}

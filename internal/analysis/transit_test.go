@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"testing"
+
+	"sre/internal/src"
+	"sre/internal/topology"
+	"sre/internal/workload"
+)
+
+// Valley-free routing: in a Gao–Rexford network, an AS never provides
+// transit between two of its peers/providers, so some AS pairs are
+// policy-isolated even though the physical topology connects them. The
+// miner must discover those isolation specs — a case where topological
+// reasoning (Tiramisu/min-cut) over-approximates reachability and
+// SRE's policy-aware analysis does not.
+func TestTransitWANValleyFreeIsolation(t *testing.T) {
+	net := workload.TransitWAN(2, 4, 5)
+	mn := &Miner{Net: net, KMax: 1}
+	specs, err := mn.Mine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs.Isolated) == 0 {
+		t.Fatal("valley-free policies should isolate some AS pairs")
+	}
+	// Every isolated pair must nevertheless be physically connected —
+	// the isolation is pure policy.
+	for _, key := range specs.Isolated {
+		origins := net.OriginsOf(key.Prefix)
+		connected := false
+		for _, o := range origins {
+			if net.Topology.Connected(key.Src, o, nil) {
+				connected = true
+			}
+		}
+		if !connected {
+			t.Errorf("pair %v is topologically disconnected; expected policy-only isolation", key)
+		}
+	}
+	// And a policy-aware check: every reachable pair's traffic must
+	// follow a valley-free path (no peer->provider climb after a
+	// descent). We verify a necessary condition: no path visits more
+	// routers than 2·tiers+1.
+	pipe, err := Run(net, src.Options{PruneK: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pipe.Release()
+	maxLen := 2*2 + 1
+	for s := 0; s < net.Topology.NumRouters(); s++ {
+		for _, pf := range pipe.PFECs(topology.RouterID(s)) {
+			if pf.Delivered && len(pf.Path) > maxLen {
+				t.Errorf("path %v longer than any valley-free route", pf.Path)
+			}
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package baselines implements substitutes for the verifiers the paper
+// compares against (§8): Batfish (per-scenario concrete simulation),
+// Minesweeper (solver-based search over failure scenarios), Tiramisu
+// (graph min-cut), NetDice (probabilistic scenario exploration with hot
+// links), Hoyan's SAT/DNF topology-condition encoding (Table 3), DNA
+// (no-failure differential analysis), and Config2Spec (enumeration-based
+// specification mining). Each substitute reproduces the *algorithmic
+// cost profile* of the original system — the quantity the evaluation
+// figures compare — using the same configuration model and concrete
+// simulator as the rest of the reproduction (see DESIGN.md for the
+// substitution rationale).
+package baselines
+
+import (
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/sim"
+	"sre/internal/topology"
+)
+
+// Pair is a (source router, destination prefix) reachability instance.
+type Pair struct {
+	Src    topology.RouterID
+	Prefix route.Prefix
+}
+
+// enumerateScenarios invokes visit for every failure scenario with at
+// most k failed links. Returns the number of scenarios visited, or stops
+// early when visit returns false.
+func enumerateScenarios(nLinks, k int, visit func(down []topology.LinkID) bool) int {
+	count := 0
+	var rec func(start int, down []topology.LinkID) bool
+	rec = func(start int, down []topology.LinkID) bool {
+		count++
+		if !visit(down) {
+			return false
+		}
+		if len(down) == k {
+			return true
+		}
+		for l := start; l < nLinks; l++ {
+			if !rec(l+1, append(down, topology.LinkID(l))) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, nil)
+	return count
+}
+
+// Batfish is the concrete-simulation baseline: to answer a question
+// across failure scenarios it simulates every scenario independently,
+// like Batfish-based pipelines (e.g. the Config2Spec dataplane engine).
+type Batfish struct {
+	Net *config.Network
+	// Scenarios counts simulations performed (work metric).
+	Scenarios int
+}
+
+// AllPairsReachableUnderK reports, for every (source, prefix) pair,
+// whether the destination is reachable under EVERY failure scenario of
+// at most k link failures. This is the workload of Figure 5.
+func (b *Batfish) AllPairsReachableUnderK(k int) map[Pair]bool {
+	t := b.Net.Topology
+	prefixes := b.Net.AllPrefixes()
+	holds := make(map[Pair]bool)
+	type target struct {
+		addr    uint32
+		origins map[topology.RouterID]bool
+	}
+	targets := make(map[route.Prefix]target)
+	for _, pfx := range prefixes {
+		origins := make(map[topology.RouterID]bool)
+		for _, o := range b.Net.OriginsOf(pfx) {
+			origins[o] = true
+		}
+		targets[pfx] = target{addr: pfx.Addr, origins: origins}
+	}
+	for s := 0; s < t.NumRouters(); s++ {
+		for _, pfx := range prefixes {
+			if targets[pfx].origins[topology.RouterID(s)] {
+				continue
+			}
+			holds[Pair{topology.RouterID(s), pfx}] = true
+		}
+	}
+	b.Scenarios += enumerateScenarios(t.NumLinks(), k, func(down []topology.LinkID) bool {
+		res := sim.Simulate(b.Net, sim.NewScenario(down...))
+		for pair, ok := range holds {
+			if !ok {
+				continue
+			}
+			tg := targets[pair.Prefix]
+			if !res.Reachable(pair.Src, tg.addr, tg.origins) {
+				holds[pair] = false
+			}
+		}
+		return true
+	})
+	return holds
+}
+
+// SinglePairReachableUnderK checks one pair across all scenarios with at
+// most k failures (Figure 6's workload), stopping at the first
+// counterexample.
+func (b *Batfish) SinglePairReachableUnderK(src topology.RouterID, pfx route.Prefix, k int) bool {
+	origins := make(map[topology.RouterID]bool)
+	for _, o := range b.Net.OriginsOf(pfx) {
+		origins[o] = true
+	}
+	ok := true
+	b.Scenarios += enumerateScenarios(b.Net.Topology.NumLinks(), k, func(down []topology.LinkID) bool {
+		res := sim.Simulate(b.Net, sim.NewScenario(down...))
+		if !res.Reachable(src, pfx.Addr, origins) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// MineSpecs is the Config2Spec-substitute: determine every pair's
+// failure tolerance up to kMax by intersecting per-scenario reachability
+// matrices, one stratum at a time (Figure 7's baseline).
+func (b *Batfish) MineSpecs(kMax int) map[Pair]int {
+	t := b.Net.Topology
+	prefixes := b.Net.AllPrefixes()
+	tolerance := make(map[Pair]int)
+	alive := make(map[Pair]bool)
+	origins := make(map[route.Prefix]map[topology.RouterID]bool)
+	for _, pfx := range prefixes {
+		om := make(map[topology.RouterID]bool)
+		for _, o := range b.Net.OriginsOf(pfx) {
+			om[o] = true
+		}
+		origins[pfx] = om
+		for s := 0; s < t.NumRouters(); s++ {
+			if !om[topology.RouterID(s)] {
+				alive[Pair{topology.RouterID(s), pfx}] = true
+			}
+		}
+	}
+	for k := 0; k <= kMax && len(alive) > 0; k++ {
+		b.Scenarios += enumerateScenarios(t.NumLinks(), k, func(down []topology.LinkID) bool {
+			if len(down) != k { // strata: only scenarios with exactly k failures
+				return true
+			}
+			res := sim.Simulate(b.Net, sim.NewScenario(down...))
+			for pair := range alive {
+				if !res.Reachable(pair.Src, pair.Prefix.Addr, origins[pair.Prefix]) {
+					tolerance[pair] = k - 1
+					delete(alive, pair)
+				}
+			}
+			return true
+		})
+	}
+	for pair := range alive {
+		tolerance[pair] = kMax // survives every stratum: ≥ kMax
+	}
+	return tolerance
+}

@@ -1,0 +1,94 @@
+package baselines
+
+import (
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/sim"
+	"sre/internal/topology"
+)
+
+// DNA is the differential-analysis baseline of §8.3: DNA compares two
+// configurations WITHOUT considering failures, so it sees only the
+// "shallow" differences visible with all links up. The substitute
+// simulates both configurations under the all-up scenario and diffs the
+// reachability matrix and forwarding paths.
+type DNA struct {
+	Before, After *config.Network
+}
+
+// DNADiff is a difference detected under no failures.
+type DNADiff struct {
+	Pair Pair
+	// ReachBefore/After are the all-up reachability verdicts.
+	ReachBefore, ReachAfter bool
+	// PathChanged is set when both deliver but along different links.
+	PathChanged bool
+}
+
+// Diff returns the no-failure differences between the two
+// configurations.
+func (d *DNA) Diff() []DNADiff {
+	resB := sim.Simulate(d.Before, sim.NewScenario())
+	resA := sim.Simulate(d.After, sim.NewScenario())
+	var out []DNADiff
+	t := d.Before.Topology
+	prefixes := unionPrefixList(d.Before, d.After)
+	for _, pfx := range prefixes {
+		originsB := originSet(d.Before, pfx)
+		originsA := originSet(d.After, pfx)
+		for s := 0; s < t.NumRouters(); s++ {
+			src := topology.RouterID(s)
+			if originsB[src] || originsA[src] {
+				continue
+			}
+			rb := resB.Reachable(src, pfx.Addr, originsB)
+			ra := resA.Reachable(src, pfx.Addr, originsA)
+			diff := DNADiff{Pair: Pair{src, pfx}, ReachBefore: rb, ReachAfter: ra}
+			if rb != ra {
+				out = append(out, diff)
+				continue
+			}
+			if rb && ra {
+				pb := resB.DeliveringPath(src, pfx.Addr, originsB)
+				pa := resA.DeliveringPath(src, pfx.Addr, originsA)
+				if !sameLinks(pb, pa) {
+					diff.PathChanged = true
+					out = append(out, diff)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func originSet(n *config.Network, pfx route.Prefix) map[topology.RouterID]bool {
+	m := make(map[topology.RouterID]bool)
+	for _, o := range n.OriginsOf(pfx) {
+		m[o] = true
+	}
+	return m
+}
+
+func unionPrefixList(a, b *config.Network) []route.Prefix {
+	seen := make(map[route.Prefix]bool)
+	var out []route.Prefix
+	for _, p := range append(a.AllPrefixes(), b.AllPrefixes()...) {
+		if !seen[p] {
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func sameLinks(a, b []topology.LinkID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

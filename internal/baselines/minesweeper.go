@@ -1,0 +1,111 @@
+package baselines
+
+import (
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/sat"
+	"sre/internal/sim"
+	"sre/internal/topology"
+)
+
+// Minesweeper is the solver-based baseline: like Minesweeper it answers
+// one (source, destination) query by a monolithic solver search over the
+// failure space, rather than enumerating scenarios. The substitute runs
+// counterexample-guided search with the in-tree CDCL solver: the solver
+// proposes a candidate failure scenario within the budget; concrete
+// simulation evaluates it; a delivering path refutes the candidate class
+// (some link of the path must fail for the property to break), shrinking
+// the search space until either a real violation is found or the solver
+// proves none exists.
+//
+// The substitution preserves what the evaluation measures: per-query
+// solver-based exploration whose cost grows with the failure budget and
+// network size, and which must be repeated for every (src, dst) pair —
+// precisely why Minesweeper scales poorly to all-pairs queries (Fig 5)
+// while staying competitive on single pairs (Fig 6).
+type Minesweeper struct {
+	Net *config.Network
+	// SolverCalls and Simulations count work performed.
+	SolverCalls int
+	Simulations int
+}
+
+// ReachableUnderK reports whether src can reach pfx's origins under
+// every failure scenario with at most k failed links, and a
+// counterexample scenario when not.
+func (ms *Minesweeper) ReachableUnderK(src topology.RouterID, pfx route.Prefix, k int) (bool, []topology.LinkID) {
+	t := ms.Net.Topology
+	nLinks := t.NumLinks()
+	origins := make(map[topology.RouterID]bool)
+	for _, o := range ms.Net.OriginsOf(pfx) {
+		origins[o] = true
+	}
+	// Variable i = "link i is up".
+	s := sat.NewSolver(nLinks)
+	vars := make([]int, nLinks)
+	for i := range vars {
+		vars[i] = i
+	}
+	s.AddAtMostKFalse(vars, k)
+	for {
+		ms.SolverCalls++
+		if !s.Solve() {
+			return true, nil // no candidate scenario breaks the property
+		}
+		model := s.Model()
+		var down []topology.LinkID
+		for l := 0; l < nLinks; l++ {
+			if !model[l] {
+				down = append(down, topology.LinkID(l))
+			}
+		}
+		ms.Simulations++
+		res := sim.Simulate(ms.Net, sim.NewScenario(down...))
+		path := res.DeliveringPath(src, pfx.Addr, origins)
+		if path == nil {
+			return false, down // concrete counterexample
+		}
+		// Block the whole class of scenarios in which this delivering
+		// path stays up: the property can only fail if some path link
+		// fails.
+		lits := make([]sat.Lit, len(path))
+		for i, lid := range path {
+			lits[i] = sat.MkLit(int(lid), true) // "link down"
+		}
+		s.AddClause(lits...)
+	}
+}
+
+// AllPairsReachableUnderK runs the per-pair query for every (source,
+// prefix) pair — the Figure 5 workload, showing the per-pair cost
+// multiplied out.
+func (ms *Minesweeper) AllPairsReachableUnderK(k int) map[Pair]bool {
+	t := ms.Net.Topology
+	out := make(map[Pair]bool)
+	for _, pfx := range ms.Net.AllPrefixes() {
+		origins := make(map[topology.RouterID]bool)
+		for _, o := range ms.Net.OriginsOf(pfx) {
+			origins[o] = true
+		}
+		for s := 0; s < t.NumRouters(); s++ {
+			if origins[topology.RouterID(s)] {
+				continue
+			}
+			ok, _ := ms.ReachableUnderK(topology.RouterID(s), pfx, k)
+			out[Pair{topology.RouterID(s), pfx}] = ok
+		}
+	}
+	return out
+}
+
+// FailureTolerance computes the failure tolerance of one pair by
+// querying increasing budgets until a violation appears (how
+// Minesweeper-style tools bound tolerance).
+func (ms *Minesweeper) FailureTolerance(src topology.RouterID, pfx route.Prefix, kMax int) int {
+	for k := 0; k <= kMax; k++ {
+		if ok, _ := ms.ReachableUnderK(src, pfx, k); !ok {
+			return k - 1
+		}
+	}
+	return kMax
+}

@@ -1,0 +1,59 @@
+package baselines
+
+import (
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+// Tiramisu is the graph-abstraction baseline: ARC/Tiramisu model the
+// control plane as a graph and answer failure-tolerance queries with
+// polynomial graph algorithms (min-cut), never enumerating scenarios or
+// running a solver. The substitute computes reachability tolerance as
+// min-cut minus one on the physical graph (our configuration model has
+// no ACL-induced asymmetries in the datasets where Tiramisu is
+// benchmarked, so the abstraction is exact there; on policy-heavy
+// networks Tiramisu-style tools over-approximate, which §8.7 notes as
+// "cannot run to completion" for the campus network).
+type Tiramisu struct {
+	Net *config.Network
+	// Cuts counts min-cut computations.
+	Cuts int
+}
+
+// FailureTolerance returns min-cut(src → any origin of pfx) - 1.
+func (ti *Tiramisu) FailureTolerance(src topology.RouterID, pfx route.Prefix) int {
+	best := 0
+	for _, o := range ti.Net.OriginsOf(pfx) {
+		ti.Cuts++
+		if c := ti.Net.Topology.MinCut(src, o); c > best {
+			best = c
+		}
+	}
+	return best - 1
+}
+
+// ReachableUnderK reports whether the pair tolerates k failures.
+func (ti *Tiramisu) ReachableUnderK(src topology.RouterID, pfx route.Prefix, k int) bool {
+	return ti.FailureTolerance(src, pfx) >= k
+}
+
+// AllPairsReachableUnderK answers the Figure 5 workload with one min-cut
+// per pair.
+func (ti *Tiramisu) AllPairsReachableUnderK(k int) map[Pair]bool {
+	t := ti.Net.Topology
+	out := make(map[Pair]bool)
+	for _, pfx := range ti.Net.AllPrefixes() {
+		origins := make(map[topology.RouterID]bool)
+		for _, o := range ti.Net.OriginsOf(pfx) {
+			origins[o] = true
+		}
+		for s := 0; s < t.NumRouters(); s++ {
+			if origins[topology.RouterID(s)] {
+				continue
+			}
+			out[Pair{topology.RouterID(s), pfx}] = ti.ReachableUnderK(topology.RouterID(s), pfx, k)
+		}
+	}
+	return out
+}

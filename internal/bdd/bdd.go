@@ -1,0 +1,338 @@
+// Package bdd implements reduced ordered binary decision diagrams (ROBDDs)
+// in the style of Bryant's classic algorithm, with a hash-consed unique
+// table, a direct-mapped operation cache, reference-counted garbage
+// collection, and the graph algorithms that Symbolic Router Execution
+// performs directly on BDDs: shortest dashed-edge paths (failure
+// tolerance), weighted path sums (failure probabilities), cardinality
+// constraints ("at most k links down"), and packet/topology decomposition.
+//
+// The package replaces the JDD library used by the paper's Java
+// implementation. Like JDD, the manager enforces a configurable node-table
+// limit; exceeding it is reported as ErrNodeLimit, which the evaluation
+// harness surfaces as the "BDD limit" entries of Table 2 and Figure 11.
+package bdd
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Node is a handle to a BDD node owned by a Manager. The terminals are
+// False (0) and True (1). Node handles remain valid until the node becomes
+// unreferenced and a garbage collection runs.
+type Node int32
+
+// Terminal nodes. Every Manager uses the same two handles.
+const (
+	False Node = 0
+	True  Node = 1
+)
+
+// terminalLevel is the level assigned to the two terminal nodes; it is
+// larger than any variable level.
+const terminalLevel = math.MaxInt32
+
+// ErrNodeLimit is returned (via panic/recover inside Manager calls that
+// allocate) when the node table would exceed the configured limit. It
+// emulates the node-table cap of the JDD library discussed in §8.5 of the
+// paper.
+var ErrNodeLimit = errors.New("bdd: node table limit exceeded")
+
+// Config controls Manager construction.
+type Config struct {
+	// Vars is the number of boolean variables. Variable i has level i:
+	// lower levels are nearer the root.
+	Vars int
+	// NodeLimit caps the number of allocated nodes (live + garbage).
+	// Zero means DefaultNodeLimit.
+	NodeLimit int
+	// CacheSize is the number of entries of the operation cache
+	// (rounded up to a power of two). Zero means DefaultCacheSize.
+	CacheSize int
+	// InitialNodes sizes the initial node table. Zero means a small
+	// default; the table grows on demand up to NodeLimit.
+	InitialNodes int
+	// DisableGC turns off automatic garbage collection. Explicit calls
+	// to GC still work.
+	DisableGC bool
+}
+
+// Default sizing constants.
+const (
+	DefaultNodeLimit = 64 << 20 // 64M nodes ≈ 1.3 GB of tables
+	DefaultCacheSize = 1 << 18
+	defaultInitial   = 1 << 12
+)
+
+// Manager owns a collection of shared BDD nodes over a fixed set of
+// ordered boolean variables.
+type Manager struct {
+	// Node storage, indexed by Node. Entry i is a decision node with
+	// variable level lvl[i], else-child lo[i] ("dashed" edge, variable
+	// false) and then-child hi[i] ("solid" edge, variable true).
+	lvl  []int32
+	lo   []int32
+	hi   []int32
+	next []int32 // unique-table hash chain
+	ref  []int32 // external reference count; -1 marks a free slot
+
+	hash     []int32 // unique-table bucket heads (power-of-two length)
+	freeList int32   // head of the free-slot chain, -1 if empty
+	freeCnt  int     // number of free slots
+	nodes    int     // allocated slots (live + garbage, excluding free)
+
+	vars      int
+	limit     int
+	autoGC    bool
+	gcPending bool // set when allocation pressure suggests a GC
+
+	cache     []cacheEntry
+	cacheMask uint32
+	stats     Stats
+}
+
+type cacheEntry struct {
+	op      int32
+	f, g, h Node
+	res     Node
+}
+
+// Stats reports manager counters, used by the scalability experiments
+// (Figure 11 reports peak node counts as a memory proxy).
+type Stats struct {
+	LiveNodes  int // nodes reachable from referenced roots (approximate: allocated - freed)
+	PeakNodes  int // maximum allocated slots ever
+	GCRuns     int
+	CacheHits  uint64
+	CacheMiss  uint64
+	UniqueHits uint64
+}
+
+// New creates a Manager with the given configuration.
+func New(cfg Config) *Manager {
+	if cfg.Vars < 0 {
+		panic("bdd: negative variable count")
+	}
+	if cfg.NodeLimit == 0 {
+		cfg.NodeLimit = DefaultNodeLimit
+	}
+	if cfg.CacheSize == 0 {
+		cfg.CacheSize = DefaultCacheSize
+	}
+	if cfg.InitialNodes == 0 {
+		cfg.InitialNodes = defaultInitial
+	}
+	if cfg.InitialNodes < 2 {
+		cfg.InitialNodes = 2
+	}
+	cs := 1
+	for cs < cfg.CacheSize {
+		cs <<= 1
+	}
+	m := &Manager{
+		vars:     cfg.Vars,
+		limit:    cfg.NodeLimit,
+		autoGC:   !cfg.DisableGC,
+		cache:    make([]cacheEntry, cs),
+		freeList: -1,
+	}
+	m.cacheMask = uint32(cs - 1)
+	n := cfg.InitialNodes
+	m.lvl = make([]int32, 2, n)
+	m.lo = make([]int32, 2, n)
+	m.hi = make([]int32, 2, n)
+	m.next = make([]int32, 2, n)
+	m.ref = make([]int32, 2, n)
+	// Terminals occupy slots 0 and 1 and are permanently referenced.
+	m.lvl[0], m.lvl[1] = terminalLevel, terminalLevel
+	m.lo[0], m.lo[1] = 0, 1
+	m.hi[0], m.hi[1] = 0, 1
+	m.ref[0], m.ref[1] = 1, 1
+	m.nodes = 2
+	m.hash = make([]int32, hashSizeFor(n))
+	for i := range m.hash {
+		m.hash[i] = -1
+	}
+	m.next[0], m.next[1] = -1, -1
+	// Invalidate cache entries (op 0 is unused).
+	return m
+}
+
+func hashSizeFor(nodes int) int {
+	s := 256
+	for s < nodes {
+		s <<= 1
+	}
+	return s
+}
+
+// NumVars returns the number of variables of the manager.
+func (m *Manager) NumVars() int { return m.vars }
+
+// Size returns the number of allocated (live plus not-yet-collected)
+// nodes, including the two terminals.
+func (m *Manager) Size() int { return m.nodes }
+
+// Statistics returns a snapshot of manager counters.
+func (m *Manager) Statistics() Stats {
+	s := m.stats
+	s.LiveNodes = m.nodes
+	return s
+}
+
+// Var returns the BDD for variable v (a single decision node testing v).
+func (m *Manager) Var(v int) Node {
+	if v < 0 || v >= m.vars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.vars))
+	}
+	return m.mk(int32(v), False, True)
+}
+
+// NVar returns the BDD for the negation of variable v.
+func (m *Manager) NVar(v int) Node {
+	if v < 0 || v >= m.vars {
+		panic(fmt.Sprintf("bdd: variable %d out of range [0,%d)", v, m.vars))
+	}
+	return m.mk(int32(v), True, False)
+}
+
+// Level returns the variable level of node n, or a value larger than any
+// variable level if n is a terminal.
+func (m *Manager) Level(n Node) int { return int(m.lvl[n]) }
+
+// IsTerminal reports whether n is True or False.
+func (m *Manager) IsTerminal(n Node) bool { return n <= True }
+
+// Low returns the else-child (dashed edge) of decision node n.
+func (m *Manager) Low(n Node) Node { return Node(m.lo[n]) }
+
+// High returns the then-child (solid edge) of decision node n.
+func (m *Manager) High(n Node) Node { return Node(m.hi[n]) }
+
+// Ref increments the external reference count of n, protecting it (and
+// its descendants) from garbage collection. It returns n for chaining.
+func (m *Manager) Ref(n Node) Node {
+	if n > True {
+		m.ref[n]++
+	}
+	return n
+}
+
+// Deref decrements the external reference count of n.
+func (m *Manager) Deref(n Node) {
+	if n > True {
+		if m.ref[n] <= 0 {
+			panic("bdd: Deref of unreferenced node")
+		}
+		m.ref[n]--
+	}
+}
+
+// hashNode mixes a (level, lo, hi) triple into a bucket index.
+func (m *Manager) hashNode(lvl, lo, hi int32) int32 {
+	h := uint32(lvl)*0x9e3779b9 + uint32(lo)*0x85ebca6b + uint32(hi)*0xc2b2ae35
+	h ^= h >> 15
+	return int32(h & uint32(len(m.hash)-1))
+}
+
+// mk returns the canonical node (lvl, lo, hi), applying the ROBDD
+// reduction rules.
+func (m *Manager) mk(lvl int32, lo, hi Node) Node {
+	if lo == hi {
+		return lo
+	}
+	b := m.hashNode(lvl, int32(lo), int32(hi))
+	for i := m.hash[b]; i >= 0; i = m.next[i] {
+		if m.lvl[i] == lvl && m.lo[i] == int32(lo) && m.hi[i] == int32(hi) {
+			m.stats.UniqueHits++
+			return Node(i)
+		}
+	}
+	// Allocate: reuse a freed slot if available, else extend the table.
+	// The new slot's index is the table extent — NOT m.nodes, which
+	// counts live slots and lags behind after collections.
+	var id int32
+	if m.freeList >= 0 {
+		id = m.freeList
+		m.freeList = m.next[id]
+		m.freeCnt--
+		m.lvl[id], m.lo[id], m.hi[id], m.ref[id] = lvl, int32(lo), int32(hi), 0
+		m.nodes++
+	} else {
+		if len(m.lvl) >= m.limit {
+			// Garbage collection cannot run here: intermediate nodes of
+			// in-flight operations live only on the Go stack and would be
+			// swept. Clients collect at safe points via MaybeGC.
+			panic(bddPanic{ErrNodeLimit})
+		}
+		id = int32(len(m.lvl))
+		m.lvl = append(m.lvl, lvl)
+		m.lo = append(m.lo, int32(lo))
+		m.hi = append(m.hi, int32(hi))
+		m.next = append(m.next, -1)
+		m.ref = append(m.ref, 0)
+		m.nodes++
+	}
+	if m.nodes > m.stats.PeakNodes {
+		m.stats.PeakNodes = m.nodes
+	}
+	m.next[id] = m.hash[b]
+	m.hash[b] = id
+	if m.nodes > len(m.hash)*2 {
+		m.rehash() // re-links every live node, including id
+	}
+	return Node(id)
+}
+
+func (m *Manager) rehash() {
+	m.hash = make([]int32, hashSizeFor(m.nodes*2))
+	for i := range m.hash {
+		m.hash[i] = -1
+	}
+	for i := int32(2); i < int32(len(m.lvl)); i++ {
+		if m.ref[i] < 0 { // free slot
+			continue
+		}
+		b := m.hashNode(m.lvl[i], m.lo[i], m.hi[i])
+		m.next[i] = m.hash[b]
+		m.hash[b] = i
+	}
+	// Free slots lost their chain; rebuild it.
+	m.freeList = -1
+	m.freeCnt = 0
+	for i := int32(len(m.lvl)) - 1; i >= 2; i-- {
+		if m.ref[i] < 0 {
+			m.next[i] = m.freeList
+			m.freeList = i
+			m.freeCnt++
+		}
+	}
+}
+
+// bddPanic wraps an error thrown across the recursive operation stack;
+// exported entry points recover it and return the error. It implements
+// error (with Unwrap) so callers that recover() it can match
+// errors.Is(err, ErrNodeLimit).
+type bddPanic struct{ err error }
+
+// Error implements error.
+func (p bddPanic) Error() string { return p.err.Error() }
+
+// Unwrap exposes the wrapped sentinel error.
+func (p bddPanic) Unwrap() error { return p.err }
+
+// protect runs f, converting a bddPanic into its error.
+func (m *Manager) protect(f func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if bp, ok := r.(bddPanic); ok {
+				err = bp.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}

@@ -1,0 +1,91 @@
+package bdd
+
+// Garbage collection. The manager reference-counts external roots
+// (Ref/Deref); GC marks everything reachable from a referenced node and
+// returns all other slots to the free list. Node handles of collected
+// nodes become invalid; handles of surviving nodes are stable (no
+// compaction), matching the behaviour of classic BDD packages.
+//
+// GC must only run at safe points: no BDD operation may be in flight,
+// because operation intermediates live on the Go stack and are invisible
+// to the mark phase. The engines therefore call MaybeGC between top-level
+// steps, with every persistent BDD (topology conditions, predicates,
+// PFECs) protected by Ref.
+
+// GC runs a mark-and-sweep collection and reports how many nodes were
+// freed. The operation cache is invalidated.
+func (m *Manager) GC() int {
+	mark := make([]bool, len(m.lvl))
+	mark[0], mark[1] = true, true
+	// Iterative DFS to avoid deep recursion on big diagrams.
+	stack := make([]int32, 0, 1024)
+	for i := int32(2); i < int32(len(m.lvl)); i++ {
+		if m.ref[i] > 0 {
+			stack = append(stack, i)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if mark[n] {
+			continue
+		}
+		mark[n] = true
+		if lo := m.lo[n]; !mark[lo] {
+			stack = append(stack, lo)
+		}
+		if hi := m.hi[n]; !mark[hi] {
+			stack = append(stack, hi)
+		}
+	}
+	// Sweep: rebuild the unique table and the free list.
+	for i := range m.hash {
+		m.hash[i] = -1
+	}
+	m.freeList = -1
+	m.freeCnt = 0
+	freed := 0
+	for i := int32(len(m.lvl)) - 1; i >= 2; i-- {
+		if mark[i] {
+			if m.ref[i] < 0 {
+				m.ref[i] = 0 // resurrect bookkeeping consistency
+			}
+			b := m.hashNode(m.lvl[i], m.lo[i], m.hi[i])
+			m.next[i] = m.hash[b]
+			m.hash[b] = i
+			continue
+		}
+		if m.ref[i] < 0 {
+			// Already free.
+			m.next[i] = m.freeList
+			m.freeList = i
+			m.freeCnt++
+			continue
+		}
+		m.ref[i] = -1
+		m.next[i] = m.freeList
+		m.freeList = i
+		m.freeCnt++
+		m.nodes--
+		freed++
+	}
+	m.clearCache()
+	m.stats.GCRuns++
+	return freed
+}
+
+// MaybeGC runs a collection if the allocated node count exceeds the given
+// threshold (or three quarters of the node limit if threshold is zero).
+// It returns the number of freed nodes, zero if no collection ran.
+func (m *Manager) MaybeGC(threshold int) int {
+	if !m.autoGC {
+		return 0
+	}
+	if threshold == 0 {
+		threshold = m.limit / 4 * 3
+	}
+	if m.nodes < threshold {
+		return 0
+	}
+	return m.GC()
+}

@@ -1,0 +1,387 @@
+package bdd
+
+// Operation codes for the shared operation cache.
+const (
+	opAnd int32 = iota + 1
+	opOr
+	opXor
+	opDiff // f ∧ ¬g
+	opNot
+	opIte
+	opExists
+	opRestrict
+	opCompose
+	opSupport
+)
+
+func (m *Manager) cacheLookup(op int32, f, g, h Node) (Node, bool) {
+	e := &m.cache[m.cacheSlot(op, f, g, h)]
+	if e.op == op && e.f == f && e.g == g && e.h == h {
+		m.stats.CacheHits++
+		return e.res, true
+	}
+	m.stats.CacheMiss++
+	return 0, false
+}
+
+func (m *Manager) cacheStore(op int32, f, g, h, res Node) {
+	e := &m.cache[m.cacheSlot(op, f, g, h)]
+	e.op, e.f, e.g, e.h, e.res = op, f, g, h, res
+}
+
+func (m *Manager) cacheSlot(op int32, f, g, h Node) uint32 {
+	x := uint32(op)*0x27d4eb2f + uint32(f)*0x9e3779b9 + uint32(g)*0x85ebca6b + uint32(h)*0xc2b2ae35
+	x ^= x >> 13
+	return x & m.cacheMask
+}
+
+// clearCache invalidates the whole operation cache (after GC).
+func (m *Manager) clearCache() {
+	for i := range m.cache {
+		m.cache[i] = cacheEntry{}
+	}
+}
+
+// And returns f ∧ g.
+func (m *Manager) And(f, g Node) Node { return m.apply(opAnd, f, g) }
+
+// Or returns f ∨ g.
+func (m *Manager) Or(f, g Node) Node { return m.apply(opOr, f, g) }
+
+// Xor returns f ⊕ g.
+func (m *Manager) Xor(f, g Node) Node { return m.apply(opXor, f, g) }
+
+// Diff returns f ∧ ¬g.
+func (m *Manager) Diff(f, g Node) Node { return m.apply(opDiff, f, g) }
+
+// Imp returns f → g, i.e. ¬f ∨ g.
+func (m *Manager) Imp(f, g Node) Node { return m.Or(m.Not(f), g) }
+
+// Equiv returns f ↔ g.
+func (m *Manager) Equiv(f, g Node) Node { return m.Not(m.Xor(f, g)) }
+
+// AndN returns the conjunction of all operands (True for none).
+func (m *Manager) AndN(ns ...Node) Node {
+	r := True
+	for _, n := range ns {
+		r = m.And(r, n)
+	}
+	return r
+}
+
+// OrN returns the disjunction of all operands (False for none).
+func (m *Manager) OrN(ns ...Node) Node {
+	r := False
+	for _, n := range ns {
+		r = m.Or(r, n)
+	}
+	return r
+}
+
+// apply computes a binary boolean operation with memoization.
+func (m *Manager) apply(op int32, f, g Node) Node {
+	// Terminal cases.
+	switch op {
+	case opAnd:
+		if f == g {
+			return f
+		}
+		if f == False || g == False {
+			return False
+		}
+		if f == True {
+			return g
+		}
+		if g == True {
+			return f
+		}
+		if f > g { // commutative: canonical order improves cache hits
+			f, g = g, f
+		}
+	case opOr:
+		if f == g {
+			return f
+		}
+		if f == True || g == True {
+			return True
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f > g {
+			f, g = g, f
+		}
+	case opXor:
+		if f == g {
+			return False
+		}
+		if f == False {
+			return g
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.Not(g)
+		}
+		if g == True {
+			return m.Not(f)
+		}
+		if f > g {
+			f, g = g, f
+		}
+	case opDiff:
+		if f == False || g == True || f == g {
+			return False
+		}
+		if g == False {
+			return f
+		}
+		if f == True {
+			return m.Not(g)
+		}
+	}
+	if r, ok := m.cacheLookup(op, f, g, 0); ok {
+		return r
+	}
+	lf, lg := m.lvl[f], m.lvl[g]
+	var lvl int32
+	var f0, f1, g0, g1 Node
+	switch {
+	case lf == lg:
+		lvl = lf
+		f0, f1 = Node(m.lo[f]), Node(m.hi[f])
+		g0, g1 = Node(m.lo[g]), Node(m.hi[g])
+	case lf < lg:
+		lvl = lf
+		f0, f1 = Node(m.lo[f]), Node(m.hi[f])
+		g0, g1 = g, g
+	default:
+		lvl = lg
+		f0, f1 = f, f
+		g0, g1 = Node(m.lo[g]), Node(m.hi[g])
+	}
+	lo := m.apply(op, f0, g0)
+	hi := m.apply(op, f1, g1)
+	r := m.mk(lvl, lo, hi)
+	m.cacheStore(op, f, g, 0, r)
+	return r
+}
+
+// Not returns ¬f.
+func (m *Manager) Not(f Node) Node {
+	switch f {
+	case False:
+		return True
+	case True:
+		return False
+	}
+	if r, ok := m.cacheLookup(opNot, f, 0, 0); ok {
+		return r
+	}
+	r := m.mk(m.lvl[f], m.Not(Node(m.lo[f])), m.Not(Node(m.hi[f])))
+	m.cacheStore(opNot, f, 0, 0, r)
+	return r
+}
+
+// Ite returns if-then-else(f, g, h) = (f ∧ g) ∨ (¬f ∧ h).
+func (m *Manager) Ite(f, g, h Node) Node {
+	switch {
+	case f == True:
+		return g
+	case f == False:
+		return h
+	case g == h:
+		return g
+	case g == True && h == False:
+		return f
+	case g == False && h == True:
+		return m.Not(f)
+	}
+	if r, ok := m.cacheLookup(opIte, f, g, h); ok {
+		return r
+	}
+	lvl := m.lvl[f]
+	if m.lvl[g] < lvl {
+		lvl = m.lvl[g]
+	}
+	if m.lvl[h] < lvl {
+		lvl = m.lvl[h]
+	}
+	f0, f1 := m.cofactor(f, lvl)
+	g0, g1 := m.cofactor(g, lvl)
+	h0, h1 := m.cofactor(h, lvl)
+	lo := m.Ite(f0, g0, h0)
+	hi := m.Ite(f1, g1, h1)
+	r := m.mk(lvl, lo, hi)
+	m.cacheStore(opIte, f, g, h, r)
+	return r
+}
+
+// cofactor returns the (lo, hi) cofactors of n with respect to level lvl.
+func (m *Manager) cofactor(n Node, lvl int32) (Node, Node) {
+	if m.lvl[n] == lvl {
+		return Node(m.lo[n]), Node(m.hi[n])
+	}
+	return n, n
+}
+
+// Restrict returns f with variable v fixed to the given value.
+func (m *Manager) Restrict(f Node, v int, value bool) Node {
+	lvl := int32(v)
+	var h Node
+	if value {
+		h = 1
+	}
+	return m.restrictRec(f, lvl, h)
+}
+
+func (m *Manager) restrictRec(f Node, lvl int32, val Node) Node {
+	if m.lvl[f] > lvl {
+		return f
+	}
+	if m.lvl[f] == lvl {
+		if val == True {
+			return Node(m.hi[f])
+		}
+		return Node(m.lo[f])
+	}
+	if r, ok := m.cacheLookup(opRestrict, f, Node(lvl), val); ok {
+		return r
+	}
+	lo := m.restrictRec(Node(m.lo[f]), lvl, val)
+	hi := m.restrictRec(Node(m.hi[f]), lvl, val)
+	r := m.mk(m.lvl[f], lo, hi)
+	m.cacheStore(opRestrict, f, Node(lvl), val, r)
+	return r
+}
+
+// RestrictCube restricts f by every literal of the cube: cube must be a
+// conjunction of literals. Variables appearing positively are fixed to
+// true, negatively to false.
+func (m *Manager) RestrictCube(f, cube Node) Node {
+	for cube > True {
+		lvl := m.lvl[cube]
+		if Node(m.lo[cube]) == False {
+			f = m.restrictRec(f, lvl, True)
+			cube = Node(m.hi[cube])
+		} else if Node(m.hi[cube]) == False {
+			f = m.restrictRec(f, lvl, False)
+			cube = Node(m.lo[cube])
+		} else {
+			panic("bdd: RestrictCube argument is not a cube")
+		}
+	}
+	return f
+}
+
+// Exists existentially quantifies variable v out of f.
+func (m *Manager) Exists(f Node, v int) Node {
+	return m.Or(m.Restrict(f, v, false), m.Restrict(f, v, true))
+}
+
+// ExistsSet existentially quantifies every variable of vars out of f.
+func (m *Manager) ExistsSet(f Node, vars []int) Node {
+	set := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		set[int32(v)] = true
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if n <= True {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		lo := rec(Node(m.lo[n]))
+		hi := rec(Node(m.hi[n]))
+		var r Node
+		if set[m.lvl[n]] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(m.lvl[n], lo, hi)
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+// Compose returns f with variable v replaced by the function g:
+// f[v := g] = Ite(g, f|v=1, f|v=0). g may itself mention v.
+func (m *Manager) Compose(f Node, v int, g Node) Node {
+	hi := m.Restrict(f, v, true)
+	lo := m.Restrict(f, v, false)
+	return m.Ite(g, hi, lo)
+}
+
+// Support returns the sorted list of variables on which f depends.
+func (m *Manager) Support(f Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int32]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n <= True || seen[n] {
+			return
+		}
+		seen[n] = true
+		vars[m.lvl[n]] = true
+		rec(Node(m.lo[n]))
+		rec(Node(m.hi[n]))
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
+	}
+	sortInts(out)
+	return out
+}
+
+func sortInts(a []int) {
+	// insertion sort: supports are small
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Cube returns the conjunction of the given literals: vars[i] appears
+// positively if values[i] is true, negatively otherwise.
+func (m *Manager) Cube(vars []int, values []bool) Node {
+	if len(vars) != len(values) {
+		panic("bdd: Cube length mismatch")
+	}
+	r := True
+	for i := range vars {
+		if values[i] {
+			r = m.And(r, m.Var(vars[i]))
+		} else {
+			r = m.And(r, m.NVar(vars[i]))
+		}
+	}
+	return r
+}
+
+// NodeCount returns the number of distinct decision nodes reachable from
+// f (excluding terminals) — the "BDD size" reported in experiments.
+func (m *Manager) NodeCount(f Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n <= True || seen[n] {
+			return
+		}
+		seen[n] = true
+		rec(Node(m.lo[n]))
+		rec(Node(m.hi[n]))
+	}
+	rec(f)
+	return len(seen)
+}

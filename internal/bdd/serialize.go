@@ -1,0 +1,125 @@
+package bdd
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// BDD serialization: save and reload function graphs independent of the
+// manager they were built in. Useful for caching symbolic execution
+// results (PFEC predicates, port predicates) across verifier runs on
+// unchanged configurations.
+//
+// Format (little endian):
+//
+//	magic "BDD1" | uint32 varCount | uint32 nodeCount | uint32 rootCount
+//	nodeCount × (uint32 level, uint32 lo, uint32 hi)   — topological order
+//	rootCount × uint32                                  — root indices
+//
+// Node indices 0 and 1 are the False/True terminals; serialized nodes
+// start at index 2.
+
+var magic = [4]byte{'B', 'D', 'D', '1'}
+
+// Write serializes the given roots (and their shared subgraphs) to w.
+func (m *Manager) Write(w io.Writer, roots ...Node) error {
+	bw := bufio.NewWriter(w)
+	// Collect reachable nodes in topological (children-first) order.
+	index := map[Node]uint32{False: 0, True: 1}
+	var order []Node
+	var visit func(Node)
+	visit = func(n Node) {
+		if _, ok := index[n]; ok {
+			return
+		}
+		visit(Node(m.lo[n]))
+		visit(Node(m.hi[n]))
+		index[n] = uint32(len(order) + 2)
+		order = append(order, n)
+	}
+	for _, r := range roots {
+		visit(r)
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	hdr := []uint32{uint32(m.vars), uint32(len(order)), uint32(len(roots))}
+	for _, v := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	for _, n := range order {
+		rec := []uint32{uint32(m.lvl[n]), index[Node(m.lo[n])], index[Node(m.hi[n])]}
+		for _, v := range rec {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return err
+			}
+		}
+	}
+	for _, r := range roots {
+		if err := binary.Write(bw, binary.LittleEndian, index[r]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes roots previously written with Write into this
+// manager (hash-consing against existing nodes). The manager must have
+// at least as many variables as the writer had.
+func (m *Manager) Read(r io.Reader) ([]Node, error) {
+	br := bufio.NewReader(r)
+	var got [4]byte
+	if _, err := io.ReadFull(br, got[:]); err != nil {
+		return nil, err
+	}
+	if got != magic {
+		return nil, fmt.Errorf("bdd: bad magic %q", got)
+	}
+	var varCount, nodeCount, rootCount uint32
+	for _, p := range []*uint32{&varCount, &nodeCount, &rootCount} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if int(varCount) > m.vars {
+		return nil, fmt.Errorf("bdd: stream has %d variables, manager only %d", varCount, m.vars)
+	}
+	nodes := make([]Node, nodeCount+2)
+	nodes[0], nodes[1] = False, True
+	for i := uint32(0); i < nodeCount; i++ {
+		var lvl, lo, hi uint32
+		for _, p := range []*uint32{&lvl, &lo, &hi} {
+			if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+				return nil, err
+			}
+		}
+		if lo >= i+2 || hi >= i+2 {
+			return nil, fmt.Errorf("bdd: node %d references forward child", i)
+		}
+		if lvl >= varCount {
+			return nil, fmt.Errorf("bdd: node %d has level %d out of range", i, lvl)
+		}
+		// Children are at strictly greater levels (reduced ordered BDD).
+		loN, hiN := nodes[lo], nodes[hi]
+		if m.Level(loN) <= int(lvl) || m.Level(hiN) <= int(lvl) {
+			return nil, fmt.Errorf("bdd: node %d violates variable ordering", i)
+		}
+		nodes[i+2] = m.mk(int32(lvl), loN, hiN)
+	}
+	roots := make([]Node, rootCount)
+	for i := range roots {
+		var idx uint32
+		if err := binary.Read(br, binary.LittleEndian, &idx); err != nil {
+			return nil, err
+		}
+		if int(idx) >= len(nodes) {
+			return nil, fmt.Errorf("bdd: root index %d out of range", idx)
+		}
+		roots[i] = nodes[idx]
+	}
+	return roots, nil
+}

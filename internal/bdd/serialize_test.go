@@ -1,0 +1,114 @@
+package bdd
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	m := New(Config{Vars: 16})
+	r := rand.New(rand.NewSource(21))
+	var roots []Node
+	var evals []func([]bool) bool
+	for i := 0; i < 10; i++ {
+		n, eval := buildRandom(m, r, 5)
+		roots = append(roots, n)
+		evals = append(evals, eval)
+	}
+	roots = append(roots, True, False)
+
+	var buf bytes.Buffer
+	if err := m.Write(&buf, roots...); err != nil {
+		t.Fatal(err)
+	}
+
+	// Read into a FRESH manager and compare semantics exhaustively on
+	// random assignments.
+	m2 := New(Config{Vars: 16})
+	got, err := m2.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(roots) {
+		t.Fatalf("root count %d, want %d", len(got), len(roots))
+	}
+	if got[len(got)-2] != True || got[len(got)-1] != False {
+		t.Fatal("terminals must round-trip")
+	}
+	for trial := 0; trial < 200; trial++ {
+		a := make([]bool, 16)
+		for i := range a {
+			a[i] = r.Intn(2) == 0
+		}
+		for i, eval := range evals {
+			if m2.Eval(got[i], func(v int) bool { return a[v] }) != eval(a) {
+				t.Fatalf("root %d semantics changed", i)
+			}
+		}
+	}
+}
+
+func TestSerializeIntoSameManager(t *testing.T) {
+	// Reading back into the same manager must return the IDENTICAL
+	// nodes (hash consing).
+	m := New(Config{Vars: 8})
+	f := m.AndN(m.Var(0), m.Or(m.Var(3), m.NVar(5)))
+	var buf bytes.Buffer
+	if err := m.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != f {
+		t.Fatal("reload into the same manager should hash-cons to the same node")
+	}
+}
+
+func TestSerializeSharing(t *testing.T) {
+	// Shared subgraphs are written once: two roots sharing structure
+	// must not double the stream size.
+	m := New(Config{Vars: 32})
+	// BDD sharing is suffix sharing: base spans variables 1..19, and
+	// r2 = x0 ∧ base hangs base directly below a single x0 node.
+	base := True
+	for v := 1; v < 20; v++ {
+		base = m.And(base, m.Var(v))
+	}
+	r2 := m.And(m.Var(0), base)
+	var one, two bytes.Buffer
+	if err := m.Write(&one, r2); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Write(&two, base, r2); err != nil {
+		t.Fatal(err)
+	}
+	if two.Len() > one.Len()+64 {
+		t.Fatalf("sharing lost: %d vs %d bytes", two.Len(), one.Len())
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	m := New(Config{Vars: 4})
+	cases := [][]byte{
+		{},
+		[]byte("NOPE"),
+		append([]byte("BDD1"), make([]byte, 4)...), // truncated header
+	}
+	for i, c := range cases {
+		if _, err := m.Read(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+	// Stream with more variables than the manager.
+	big := New(Config{Vars: 64})
+	var buf bytes.Buffer
+	if err := big.Write(&buf, big.Var(60)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Read(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("stream with too many variables accepted")
+	}
+}

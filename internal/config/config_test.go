@@ -1,0 +1,266 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+const sample = `
+topology
+  router A
+  router B
+  router C
+  link A B
+  link B C
+  link A C
+end
+
+router A
+  bgp 65001
+    network 10.0.0.0/24
+    neighbor B import-map IN
+  route-map IN
+    10 permit prefix 10.0.0.0/8 ge 9 le 24 set local-pref 200
+    20 deny any
+  interface B
+    cost 5
+    acl-in deny 192.0.0.0/2
+    acl-in permit any
+end
+
+router B
+  bgp 65002
+    aggregate 10.0.0.0/8
+end
+
+router C
+  ospf
+    network 10.1.0.0/24
+  static 10.2.0.0/16 via B
+end
+`
+
+func TestParseSample(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if n.Topology.NumRouters() != 3 || n.Topology.NumLinks() != 3 {
+		t.Fatal("topology counts")
+	}
+	a := n.RouterByName("A")
+	if a.BGP == nil || a.BGP.ASN != 65001 {
+		t.Fatal("A BGP")
+	}
+	if len(a.BGP.Networks) != 1 || a.BGP.Networks[0] != route.MustParsePrefix("10.0.0.0/24") {
+		t.Fatal("A networks")
+	}
+	if a.BGP.ImportPolicy["B"] != "IN" {
+		t.Fatal("A import policy")
+	}
+	rm := a.RouteMaps["IN"]
+	if rm == nil || len(rm.Clauses) != 2 {
+		t.Fatal("route map IN")
+	}
+	cl := rm.Clauses[0]
+	if cl.Action != Permit || cl.MatchPrefix == nil || cl.MatchPrefix.GE != 9 || cl.MatchPrefix.LE != 24 || cl.SetLocalPref != 200 {
+		t.Fatalf("clause 10 parsed wrong: %+v", cl)
+	}
+	b := n.RouterByName("B")
+	if len(b.BGP.Aggregates) != 1 {
+		t.Fatal("B aggregate")
+	}
+	c := n.RouterByName("C")
+	if c.OSPF == nil || len(c.OSPF.Networks) != 1 {
+		t.Fatal("C OSPF")
+	}
+	if len(c.Static) != 1 || c.Static[0].NextHop != "B" {
+		t.Fatal("C static")
+	}
+	// Interface of A towards B.
+	ab, _ := n.Topology.LinkBetween(n.Topology.MustRouter("A"), n.Topology.MustRouter("B"))
+	itf := a.Interfaces[ab]
+	if itf == nil || itf.OSPFCost != 5 {
+		t.Fatal("interface cost")
+	}
+	if itf.ACLIn == nil || len(itf.ACLIn.Entries) != 2 {
+		t.Fatal("interface ACL")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	text := Format(n)
+	n2, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("re-parse formatted config: %v\n%s", err, text)
+	}
+	if Format(n2) != text {
+		t.Fatal("Format is not a fixed point of Parse∘Format")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, text, wantSub string }{
+		{"no topology", "router A\nend\n", "expected 'topology'"},
+		{"bad link", "topology\n router A\n link A B\nend\n", "unknown router"},
+		{"unknown section router", "topology\n router A\nend\nrouter B\nend\n", "unknown router"},
+		{"bad prefix", "topology\n router A\nend\nrouter A\n bgp 1\n  network 10.0.0.0\nend\n", "missing /len"},
+		{"bad acl", "topology\n router A\n router B\n link A B\nend\nrouter A\n interface B\n  acl-in block any\nend\n", "permit or deny"},
+		{"dangling route map", "topology\n router A\n router B\n link A B\nend\nrouter A\n bgp 1\n  neighbor B import-map NOPE\nend\n", "undefined route-map"},
+		{"static to non-adjacent", "topology\n router A\n router B\n router C\n link A B\nend\nrouter A\n static 10.0.0.0/8 via C\nend\n", "not adjacent"},
+	}
+	for _, tc := range cases {
+		_, err := ParseString(tc.text)
+		if err == nil || !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %v should contain %q", tc.name, err, tc.wantSub)
+		}
+	}
+}
+
+func TestPrefixMatch(t *testing.T) {
+	pm := &PrefixMatch{Prefix: route.MustParsePrefix("10.0.0.0/8"), GE: 9, LE: 24}
+	if pm.Matches(route.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("len 8 < ge 9 should not match")
+	}
+	if !pm.Matches(route.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("10.1/16 should match")
+	}
+	if pm.Matches(route.MustParsePrefix("10.1.2.0/25")) {
+		t.Error("len 25 > le 24 should not match")
+	}
+	if pm.Matches(route.MustParsePrefix("11.0.0.0/16")) {
+		t.Error("outside 10/8 should not match")
+	}
+	exact := &PrefixMatch{Prefix: route.MustParsePrefix("10.0.0.0/8")}
+	if !exact.Matches(route.MustParsePrefix("10.0.0.0/8")) {
+		t.Error("exact match")
+	}
+	if exact.Matches(route.MustParsePrefix("10.1.0.0/16")) {
+		t.Error("exact match must not cover longer prefixes")
+	}
+}
+
+func TestRouteMapApply(t *testing.T) {
+	rm := &RouteMap{Clauses: []*Clause{
+		{Seq: 10, Action: Deny, MatchCommunity: 666},
+		{Seq: 20, Action: Permit, MatchPrefix: &PrefixMatch{Prefix: route.MustParsePrefix("10.0.0.0/8"), GE: 8, LE: 32},
+			SetLocalPref: 150, AddCommunity: 100, PrependAS: 2},
+		{Seq: 30, Action: Permit},
+	}}
+	// Community-tagged route is denied.
+	tagged := route.NewLocal(route.MustParsePrefix("10.0.0.0/8"), route.EBGP, 0)
+	tagged.Communities = []uint64{666}
+	if _, ok := rm.Apply(tagged, 65000); ok {
+		t.Error("tagged route should be denied")
+	}
+	// 10/8 route gets transformed.
+	r := route.NewLocal(route.MustParsePrefix("10.1.0.0/16"), route.EBGP, 0)
+	r.ASPath = []uint32{65010}
+	out, ok := rm.Apply(r, 65000)
+	if !ok {
+		t.Fatal("10.1/16 should be permitted")
+	}
+	if out.LocalPref != 150 || !out.HasCommunity(100) {
+		t.Errorf("set actions not applied: %+v", out)
+	}
+	if len(out.ASPath) != 3 || out.ASPath[0] != 65000 || out.ASPath[1] != 65000 {
+		t.Errorf("prepend not applied: %v", out.ASPath)
+	}
+	// Original not mutated.
+	if r.LocalPref != 100 || len(r.ASPath) != 1 {
+		t.Error("Apply mutated its input")
+	}
+	// Other routes fall through to permit-any unchanged.
+	other := route.NewLocal(route.MustParsePrefix("192.168.0.0/16"), route.EBGP, 0)
+	out, ok = rm.Apply(other, 65000)
+	if !ok || out.LocalPref != 100 {
+		t.Error("fallthrough clause should permit unchanged")
+	}
+	// Empty map denies (no clause matches).
+	empty := &RouteMap{}
+	if _, ok := empty.Apply(other, 65000); ok {
+		t.Error("empty route map should deny")
+	}
+	// Nil map permits.
+	var nilMap *RouteMap
+	if _, ok := nilMap.Apply(other, 65000); !ok {
+		t.Error("nil route map should permit")
+	}
+}
+
+func TestACLPermitsAddr(t *testing.T) {
+	acl := &ACL{Entries: []ACLEntry{
+		{Action: Deny, Prefix: route.MustParsePrefix("192.0.0.0/2")},
+		{Action: Permit, Any: true},
+	}}
+	if acl.PermitsAddr(0xC0000001) { // 192.0.0.1
+		t.Error("192/2 should be denied")
+	}
+	if !acl.PermitsAddr(0x0A000001) { // 10.0.0.1
+		t.Error("10.0.0.1 should be permitted")
+	}
+	var nilACL *ACL
+	if !nilACL.PermitsAddr(0) {
+		t.Error("nil ACL permits everything")
+	}
+	implicitDeny := &ACL{Entries: []ACLEntry{{Action: Permit, Prefix: route.MustParsePrefix("10.0.0.0/8")}}}
+	if implicitDeny.PermitsAddr(0xC0000001) {
+		t.Error("implicit deny at end of ACL")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := n.Clone()
+	// Mutate the copy; original must be unaffected.
+	cp.RouterByName("A").BGP.Networks[0] = route.MustParsePrefix("99.0.0.0/8")
+	cp.RouterByName("A").RouteMaps["IN"].Clauses[0].SetLocalPref = 999
+	ab, _ := n.Topology.LinkBetween(n.Topology.MustRouter("A"), n.Topology.MustRouter("B"))
+	cp.RouterByName("A").Interfaces[ab].ACLIn.Entries[0].Action = Permit
+	if n.RouterByName("A").BGP.Networks[0] == route.MustParsePrefix("99.0.0.0/8") {
+		t.Error("Clone shares BGP networks")
+	}
+	if n.RouterByName("A").RouteMaps["IN"].Clauses[0].SetLocalPref == 999 {
+		t.Error("Clone shares route maps")
+	}
+	if n.RouterByName("A").Interfaces[ab].ACLIn.Entries[0].Action == Permit {
+		t.Error("Clone shares ACLs")
+	}
+}
+
+func TestAllPrefixesAndOrigins(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefixes := n.AllPrefixes()
+	if len(prefixes) != 2 {
+		t.Fatalf("want 2 originated prefixes, got %v", prefixes)
+	}
+	origins := n.OriginsOf(route.MustParsePrefix("10.1.0.0/24"))
+	if len(origins) != 1 || origins[0] != n.Topology.MustRouter("C") {
+		t.Errorf("origins = %v", origins)
+	}
+}
+
+func TestInterfaceDefault(t *testing.T) {
+	n, err := ParseString(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := n.RouterByName("B")
+	itf := b.Interface(topology.LinkID(0))
+	if itf.OSPFCost != 1 {
+		t.Errorf("default OSPF cost = %d, want 1", itf.OSPFCost)
+	}
+}

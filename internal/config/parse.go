@@ -1,0 +1,596 @@
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+// Textual configuration format. A network file lists the topology first,
+// then one section per router:
+//
+//	topology
+//	  router A
+//	  router B
+//	  router C
+//	  link A B
+//	  link A C
+//	  link B C
+//	end
+//
+//	router C
+//	  bgp 65003
+//	    network 128.0.0.0/1
+//	    network 192.0.0.0/2
+//	    neighbor A export-map NO192
+//	  route-map NO192
+//	    10 deny prefix 192.0.0.0/2
+//	    20 permit any
+//	  interface A
+//	    acl-in deny 192.0.0.0/2
+//	    acl-in permit any
+//	end
+//
+// Indentation is cosmetic; nesting is inferred from keywords. '#' starts
+// a comment.
+
+// Parse reads a network (topology + router configurations) from r.
+func Parse(r io.Reader) (*Network, error) {
+	p := &parser{sc: bufio.NewScanner(r)}
+	p.sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	return p.parse()
+}
+
+// ParseString parses a network from a string.
+func ParseString(s string) (*Network, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	sc     *bufio.Scanner
+	line   int
+	net    *Network
+	pushed []string // one-line pushback for implicit block termination
+}
+
+// pushBack returns fields to the stream so the outer block can consume
+// them; blocks may end either with an explicit "exit" or implicitly at
+// the next outer keyword.
+func (p *parser) pushBack(fields []string) { p.pushed = fields }
+
+// blockEnders terminate bgp/ospf/interface/route-map blocks implicitly.
+var blockEnders = map[string]bool{
+	"end": true, "router": true, "bgp": true, "ospf": true,
+	"static": true, "interface": true, "route-map": true,
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return fmt.Errorf("config: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) next() ([]string, bool) {
+	if p.pushed != nil {
+		f := p.pushed
+		p.pushed = nil
+		return f, true
+	}
+	for p.sc.Scan() {
+		p.line++
+		text := p.sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		fields := strings.Fields(text)
+		if len(fields) > 0 {
+			return fields, true
+		}
+	}
+	return nil, false
+}
+
+func (p *parser) parse() (*Network, error) {
+	topo := topology.NewTopology()
+	var pendingLinks [][2]string
+	// Phase 1: topology section.
+	fields, ok := p.next()
+	if !ok || fields[0] != "topology" {
+		return nil, p.errf("expected 'topology' section first")
+	}
+	for {
+		fields, ok = p.next()
+		if !ok {
+			return nil, p.errf("unterminated topology section")
+		}
+		switch fields[0] {
+		case "router":
+			if len(fields) != 2 {
+				return nil, p.errf("router needs a name")
+			}
+			topo.AddRouter(fields[1])
+		case "link":
+			if len(fields) != 3 {
+				return nil, p.errf("link needs two router names")
+			}
+			pendingLinks = append(pendingLinks, [2]string{fields[1], fields[2]})
+		case "end":
+			goto topoDone
+		default:
+			return nil, p.errf("unexpected %q in topology section", fields[0])
+		}
+	}
+topoDone:
+	for _, l := range pendingLinks {
+		a, ok := topo.RouterByName(l[0])
+		if !ok {
+			return nil, p.errf("link references unknown router %q", l[0])
+		}
+		b, ok := topo.RouterByName(l[1])
+		if !ok {
+			return nil, p.errf("link references unknown router %q", l[1])
+		}
+		topo.AddLink(a, b)
+	}
+	p.net = NewNetwork(topo)
+	// Phase 2: router sections.
+	for {
+		fields, ok = p.next()
+		if !ok {
+			break
+		}
+		if fields[0] != "router" || len(fields) != 2 {
+			return nil, p.errf("expected 'router <name>' section, got %q", strings.Join(fields, " "))
+		}
+		id, found := topo.RouterByName(fields[1])
+		if !found {
+			return nil, p.errf("configuration for unknown router %q", fields[1])
+		}
+		if err := p.parseRouter(p.net.Routers[id], id); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.net.Validate(); err != nil {
+		return nil, err
+	}
+	return p.net, nil
+}
+
+func (p *parser) parseRouter(rc *Router, id topology.RouterID) error {
+	topo := p.net.Topology
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return p.errf("unterminated router section for %s", rc.Name)
+		}
+		switch fields[0] {
+		case "end":
+			return nil
+		case "bgp":
+			if len(fields) != 2 {
+				return p.errf("bgp needs an AS number")
+			}
+			asn, err := strconv.ParseUint(fields[1], 10, 32)
+			if err != nil {
+				return p.errf("bad AS number %q", fields[1])
+			}
+			rc.BGP = &BGP{ASN: uint32(asn), ImportPolicy: map[string]string{}, ExportPolicy: map[string]string{}}
+			if err := p.parseBGP(rc.BGP); err != nil {
+				return err
+			}
+		case "ospf":
+			rc.OSPF = &OSPF{}
+			if err := p.parseOSPF(rc.OSPF); err != nil {
+				return err
+			}
+		case "static":
+			// static <prefix> via <neighbor>
+			if len(fields) != 4 || fields[2] != "via" {
+				return p.errf("static wants '<prefix> via <neighbor>'")
+			}
+			pfx, err := route.ParsePrefix(fields[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			rc.Static = append(rc.Static, StaticRoute{Prefix: pfx, NextHop: fields[3]})
+		case "interface":
+			if len(fields) != 2 {
+				return p.errf("interface wants a neighbor name")
+			}
+			nbr, found := topo.RouterByName(fields[1])
+			if !found {
+				return p.errf("interface to unknown router %q", fields[1])
+			}
+			lid, found := topo.LinkBetween(id, nbr)
+			if !found {
+				return p.errf("no link between %s and %s", rc.Name, fields[1])
+			}
+			if err := p.parseInterface(rc.Interface(lid)); err != nil {
+				return err
+			}
+		case "route-map":
+			if len(fields) != 2 {
+				return p.errf("route-map wants a name")
+			}
+			rm := &RouteMap{}
+			if err := p.parseRouteMap(rm); err != nil {
+				return err
+			}
+			rc.RouteMaps[fields[1]] = rm
+		default:
+			return p.errf("unexpected %q in router section", fields[0])
+		}
+	}
+}
+
+func (p *parser) parseBGP(b *BGP) error {
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return p.errf("unterminated bgp block")
+		}
+		switch fields[0] {
+		case "exit":
+			return nil
+		case "network":
+			pfx, err := route.ParsePrefix(fields[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			b.Networks = append(b.Networks, pfx)
+		case "aggregate":
+			pfx, err := route.ParsePrefix(fields[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			b.Aggregates = append(b.Aggregates, pfx)
+		case "neighbor":
+			// neighbor <name> import-map|export-map <route-map>
+			if len(fields) != 4 {
+				return p.errf("neighbor wants '<name> import-map|export-map <map>'")
+			}
+			switch fields[2] {
+			case "import-map":
+				b.ImportPolicy[fields[1]] = fields[3]
+			case "export-map":
+				b.ExportPolicy[fields[1]] = fields[3]
+			default:
+				return p.errf("unknown neighbor directive %q", fields[2])
+			}
+		default:
+			if blockEnders[fields[0]] {
+				p.pushBack(fields)
+				return nil
+			}
+			return p.errf("unexpected %q in bgp block", fields[0])
+		}
+	}
+}
+
+func (p *parser) parseOSPF(o *OSPF) error {
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return p.errf("unterminated ospf block")
+		}
+		switch fields[0] {
+		case "exit":
+			return nil
+		case "network":
+			pfx, err := route.ParsePrefix(fields[1])
+			if err != nil {
+				return p.errf("%v", err)
+			}
+			o.Networks = append(o.Networks, pfx)
+		default:
+			if blockEnders[fields[0]] {
+				p.pushBack(fields)
+				return nil
+			}
+			return p.errf("unexpected %q in ospf block", fields[0])
+		}
+	}
+}
+
+func (p *parser) parseInterface(itf *Interface) error {
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return p.errf("unterminated interface block")
+		}
+		switch fields[0] {
+		case "exit":
+			return nil
+		case "cost":
+			c, err := strconv.Atoi(fields[1])
+			if err != nil || c < 0 {
+				return p.errf("bad cost %q", fields[1])
+			}
+			itf.OSPFCost = c
+		case "passive":
+			itf.Passive = true
+		case "acl-in", "acl-out":
+			entry, err := p.parseACLEntry(fields[1:])
+			if err != nil {
+				return err
+			}
+			if fields[0] == "acl-in" {
+				if itf.ACLIn == nil {
+					itf.ACLIn = &ACL{}
+				}
+				itf.ACLIn.Entries = append(itf.ACLIn.Entries, entry)
+			} else {
+				if itf.ACLOut == nil {
+					itf.ACLOut = &ACL{}
+				}
+				itf.ACLOut.Entries = append(itf.ACLOut.Entries, entry)
+			}
+		default:
+			if blockEnders[fields[0]] {
+				p.pushBack(fields)
+				return nil
+			}
+			return p.errf("unexpected %q in interface block", fields[0])
+		}
+	}
+}
+
+func (p *parser) parseACLEntry(fields []string) (ACLEntry, error) {
+	if len(fields) != 2 {
+		return ACLEntry{}, p.errf("acl entry wants 'permit|deny <prefix>|any'")
+	}
+	var e ACLEntry
+	switch fields[0] {
+	case "permit":
+		e.Action = Permit
+	case "deny":
+		e.Action = Deny
+	default:
+		return ACLEntry{}, p.errf("acl action must be permit or deny")
+	}
+	if fields[1] == "any" {
+		e.Any = true
+		return e, nil
+	}
+	pfx, err := route.ParsePrefix(fields[1])
+	if err != nil {
+		return ACLEntry{}, p.errf("%v", err)
+	}
+	e.Prefix = pfx
+	return e, nil
+}
+
+func (p *parser) parseRouteMap(rm *RouteMap) error {
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return p.errf("unterminated route-map block")
+		}
+		if fields[0] == "exit" {
+			return nil
+		}
+		// <seq> permit|deny [prefix <pfx> [ge N] [le N]] [community <c>]
+		//       [set local-pref N] [set med N] [set community <c>] [set prepend N]
+		seq, err := strconv.Atoi(fields[0])
+		if err != nil {
+			if blockEnders[fields[0]] {
+				p.pushBack(fields)
+				return nil
+			}
+			return p.errf("route-map clause must start with a sequence number")
+		}
+		c := &Clause{Seq: seq}
+		switch fields[1] {
+		case "permit":
+			c.Action = Permit
+		case "deny":
+			c.Action = Deny
+		default:
+			return p.errf("clause action must be permit or deny")
+		}
+		i := 2
+		for i < len(fields) {
+			switch fields[i] {
+			case "any":
+				i++
+			case "prefix":
+				pfx, err := route.ParsePrefix(fields[i+1])
+				if err != nil {
+					return p.errf("%v", err)
+				}
+				c.MatchPrefix = &PrefixMatch{Prefix: pfx}
+				i += 2
+				for i+1 < len(fields) && (fields[i] == "ge" || fields[i] == "le") {
+					v, err := strconv.Atoi(fields[i+1])
+					if err != nil {
+						return p.errf("bad %s value", fields[i])
+					}
+					if fields[i] == "ge" {
+						c.MatchPrefix.GE = v
+					} else {
+						c.MatchPrefix.LE = v
+					}
+					i += 2
+				}
+			case "community":
+				v, err := strconv.ParseUint(fields[i+1], 10, 64)
+				if err != nil {
+					return p.errf("bad community %q", fields[i+1])
+				}
+				c.MatchCommunity = v
+				i += 2
+			case "set":
+				if i+2 >= len(fields) {
+					return p.errf("set wants an attribute and value")
+				}
+				v := fields[i+2]
+				switch fields[i+1] {
+				case "local-pref":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return p.errf("bad local-pref %q", v)
+					}
+					c.SetLocalPref = n
+				case "med":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return p.errf("bad med %q", v)
+					}
+					c.SetMED, c.SetMEDValid = n, true
+				case "community":
+					n, err := strconv.ParseUint(v, 10, 64)
+					if err != nil {
+						return p.errf("bad community %q", v)
+					}
+					c.AddCommunity = n
+				case "prepend":
+					n, err := strconv.Atoi(v)
+					if err != nil {
+						return p.errf("bad prepend %q", v)
+					}
+					c.PrependAS = n
+				default:
+					return p.errf("unknown set attribute %q", fields[i+1])
+				}
+				i += 3
+			default:
+				return p.errf("unexpected token %q in route-map clause", fields[i])
+			}
+		}
+		rm.Clauses = append(rm.Clauses, c)
+	}
+}
+
+// Format renders the network in the textual format accepted by Parse.
+// Parse(Format(n)) reproduces an equivalent network, which the tests
+// verify (round-trip property).
+func Format(n *Network) string {
+	var b strings.Builder
+	t := n.Topology
+	b.WriteString("topology\n")
+	for i := 0; i < t.NumRouters(); i++ {
+		fmt.Fprintf(&b, "  router %s\n", t.Name(topology.RouterID(i)))
+	}
+	for _, l := range t.Links() {
+		fmt.Fprintf(&b, "  link %s %s\n", t.Name(l.A), t.Name(l.B))
+	}
+	b.WriteString("end\n")
+	for i, rc := range n.Routers {
+		id := topology.RouterID(i)
+		fmt.Fprintf(&b, "\nrouter %s\n", rc.Name)
+		if rc.BGP != nil {
+			fmt.Fprintf(&b, "  bgp %d\n", rc.BGP.ASN)
+			for _, p := range rc.BGP.Networks {
+				fmt.Fprintf(&b, "    network %s\n", p)
+			}
+			for _, p := range rc.BGP.Aggregates {
+				fmt.Fprintf(&b, "    aggregate %s\n", p)
+			}
+			for _, nbr := range sortedKeys(rc.BGP.ImportPolicy) {
+				fmt.Fprintf(&b, "    neighbor %s import-map %s\n", nbr, rc.BGP.ImportPolicy[nbr])
+			}
+			for _, nbr := range sortedKeys(rc.BGP.ExportPolicy) {
+				fmt.Fprintf(&b, "    neighbor %s export-map %s\n", nbr, rc.BGP.ExportPolicy[nbr])
+			}
+			b.WriteString("  exit\n")
+		}
+		if rc.OSPF != nil {
+			b.WriteString("  ospf\n")
+			for _, p := range rc.OSPF.Networks {
+				fmt.Fprintf(&b, "    network %s\n", p)
+			}
+			b.WriteString("  exit\n")
+		}
+		for _, s := range rc.Static {
+			fmt.Fprintf(&b, "  static %s via %s\n", s.Prefix, s.NextHop)
+		}
+		lids := make([]int, 0, len(rc.Interfaces))
+		for lid := range rc.Interfaces {
+			lids = append(lids, int(lid))
+		}
+		sort.Ints(lids)
+		for _, lidInt := range lids {
+			lid := topology.LinkID(lidInt)
+			itf := rc.Interfaces[lid]
+			nbr := t.Link(lid).Other(id)
+			fmt.Fprintf(&b, "  interface %s\n", t.Name(nbr))
+			if itf.OSPFCost != 1 {
+				fmt.Fprintf(&b, "    cost %d\n", itf.OSPFCost)
+			}
+			if itf.Passive {
+				b.WriteString("    passive\n")
+			}
+			writeACL(&b, "acl-in", itf.ACLIn)
+			writeACL(&b, "acl-out", itf.ACLOut)
+			b.WriteString("  exit\n")
+		}
+		for _, name := range sortedKeys(rc.RouteMaps) {
+			fmt.Fprintf(&b, "  route-map %s\n", name)
+			for _, c := range rc.RouteMaps[name].Clauses {
+				fmt.Fprintf(&b, "    %s\n", formatClause(c))
+			}
+			b.WriteString("  exit\n")
+		}
+		b.WriteString("end\n")
+	}
+	return b.String()
+}
+
+func writeACL(b *strings.Builder, kind string, acl *ACL) {
+	if acl == nil {
+		return
+	}
+	for _, e := range acl.Entries {
+		target := "any"
+		if !e.Any {
+			target = e.Prefix.String()
+		}
+		fmt.Fprintf(b, "    %s %s %s\n", kind, e.Action, target)
+	}
+}
+
+func formatClause(c *Clause) string {
+	var parts []string
+	parts = append(parts, strconv.Itoa(c.Seq), c.Action.String())
+	if c.MatchPrefix != nil {
+		parts = append(parts, "prefix", c.MatchPrefix.Prefix.String())
+		if c.MatchPrefix.GE != 0 {
+			parts = append(parts, "ge", strconv.Itoa(c.MatchPrefix.GE))
+		}
+		if c.MatchPrefix.LE != 0 {
+			parts = append(parts, "le", strconv.Itoa(c.MatchPrefix.LE))
+		}
+	}
+	if c.MatchCommunity != 0 {
+		parts = append(parts, "community", strconv.FormatUint(c.MatchCommunity, 10))
+	}
+	if c.MatchPrefix == nil && c.MatchCommunity == 0 {
+		parts = append(parts, "any")
+	}
+	if c.SetLocalPref > 0 {
+		parts = append(parts, "set", "local-pref", strconv.Itoa(c.SetLocalPref))
+	}
+	if c.SetMEDValid {
+		parts = append(parts, "set", "med", strconv.Itoa(c.SetMED))
+	}
+	if c.AddCommunity != 0 {
+		parts = append(parts, "set", "community", strconv.FormatUint(c.AddCommunity, 10))
+	}
+	if c.PrependAS > 0 {
+		parts = append(parts, "set", "prepend", strconv.Itoa(c.PrependAS))
+	}
+	return strings.Join(parts, " ")
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,104 @@
+package prob
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// bruteTail computes P(X > k) by enumerating outcomes for small n.
+func bruteTail(n, k int, p float64) float64 {
+	total := 0.0
+	for bits := 0; bits < 1<<n; bits++ {
+		fails := 0
+		w := 1.0
+		for i := 0; i < n; i++ {
+			if bits>>i&1 == 1 {
+				fails++
+				w *= p
+			} else {
+				w *= 1 - p
+			}
+		}
+		if fails > k {
+			total += w
+		}
+	}
+	return total
+}
+
+func TestBinomialTailSmall(t *testing.T) {
+	for _, n := range []int{1, 4, 8, 12} {
+		for k := 0; k <= n; k++ {
+			for _, p := range []float64{0.001, 0.1, 0.5} {
+				got := BinomialTail(n, k, p)
+				want := bruteTail(n, k, p)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("n=%d k=%d p=%v: got %v want %v", n, k, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestBinomialTailEdges(t *testing.T) {
+	if BinomialTail(10, 10, 0.5) != 0 || BinomialTail(10, 15, 0.5) != 0 {
+		t.Error("tail beyond n must be 0")
+	}
+	if got := BinomialTail(10, 0, 0.0); got != 0 {
+		t.Errorf("p=0: tail %v", got)
+	}
+	// p=1: all fail; P(X>k) = 1 for k < n.
+	if got := BinomialTail(3, 1, 1.0); math.Abs(got-1) > 1e-12 {
+		t.Errorf("p=1: tail %v", got)
+	}
+}
+
+func TestKForImprecision(t *testing.T) {
+	// 48 links at 0.001: P(>0 failures) ≈ 4.7%, P(>1) ≈ 0.11%,
+	// P(>2) ≈ 1.7e-5 < 1e-4 → k = 2.
+	if k := KForImprecision(48, 0.001, 1e-4); k != 2 {
+		t.Errorf("k = %d, want 2", k)
+	}
+	// Tiny imprecision needs a deeper budget.
+	k1 := KForImprecision(200, 0.001, 1e-2)
+	k2 := KForImprecision(200, 0.001, 1e-8)
+	if k2 <= k1 {
+		t.Errorf("stricter imprecision should need larger k: %d vs %d", k1, k2)
+	}
+	// Budget never exceeds n.
+	if k := KForImprecision(5, 0.99, 1e-12); k > 5 {
+		t.Errorf("k = %d out of range", k)
+	}
+}
+
+func TestQuickTailMonotonicInK(t *testing.T) {
+	f := func(nRaw, kRaw uint8, pRaw float64) bool {
+		n := 1 + int(nRaw)%14
+		k := int(kRaw) % (n + 1)
+		p := math.Mod(math.Abs(pRaw), 1)
+		if k == 0 || math.IsNaN(p) {
+			return true
+		}
+		return BinomialTail(n, k, p) <= BinomialTail(n, k-1, p)+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBudgetSoundness(t *testing.T) {
+	// The returned k must actually achieve the imprecision.
+	f := func(nRaw uint8, impExp uint8) bool {
+		n := 4 + int(nRaw)%12
+		imp := math.Pow(10, -float64(2+impExp%5))
+		k := KForImprecision(n, 0.01, imp)
+		if k >= n {
+			return true
+		}
+		return bruteTail(n, k, 0.01) < imp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,355 @@
+// Package route defines concrete routing protocol routes and the
+// decision procedure that ranks them: administrative distance across
+// protocols first, then protocol-specific preference (BGP best-path
+// selection, OSPF cost). Symbolic route computation attaches topology
+// conditions to these concrete routes (§4.1 of the paper: a symbolic
+// route is a (route, tc) pair).
+package route
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Protocol identifies the routing protocol that produced a route.
+type Protocol uint8
+
+// Supported protocols, matching the paper's implementation (§8:
+// "Currently, SRE supports OSPF, BGP, and static route").
+const (
+	Connected Protocol = iota
+	Static
+	EBGP
+	IBGP
+	OSPF
+)
+
+// String returns the conventional protocol name.
+func (p Protocol) String() string {
+	switch p {
+	case Connected:
+		return "connected"
+	case Static:
+		return "static"
+	case EBGP:
+		return "ebgp"
+	case IBGP:
+		return "ibgp"
+	case OSPF:
+		return "ospf"
+	default:
+		return fmt.Sprintf("protocol(%d)", uint8(p))
+	}
+}
+
+// AdminDistance returns the default administrative distance (Cisco
+// conventions): lower is preferred when ranking routes for the same
+// prefix across protocols.
+func (p Protocol) AdminDistance() int {
+	switch p {
+	case Connected:
+		return 0
+	case Static:
+		return 1
+	case EBGP:
+		return 20
+	case OSPF:
+		return 110
+	case IBGP:
+		return 200
+	default:
+		return 255
+	}
+}
+
+// Prefix is an IPv4 prefix in host byte order.
+type Prefix struct {
+	Addr uint32 // network address; bits below Len are zero
+	Len  int    // prefix length, 0..32
+}
+
+// MustParsePrefix parses "a.b.c.d/len", panicking on malformed input.
+// Intended for literals in tests and generators.
+func MustParsePrefix(s string) Prefix {
+	p, err := ParsePrefix(s)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ParsePrefix parses "a.b.c.d/len".
+func ParsePrefix(s string) (Prefix, error) {
+	slash := strings.IndexByte(s, '/')
+	if slash < 0 {
+		return Prefix{}, fmt.Errorf("route: prefix %q missing /len", s)
+	}
+	var a, b, c, d, l int
+	if _, err := fmt.Sscanf(s[:slash], "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+		return Prefix{}, fmt.Errorf("route: bad address in %q: %v", s, err)
+	}
+	if _, err := fmt.Sscanf(s[slash+1:], "%d", &l); err != nil {
+		return Prefix{}, fmt.Errorf("route: bad length in %q: %v", s, err)
+	}
+	for _, v := range []int{a, b, c, d} {
+		if v < 0 || v > 255 {
+			return Prefix{}, fmt.Errorf("route: octet out of range in %q", s)
+		}
+	}
+	if l < 0 || l > 32 {
+		return Prefix{}, fmt.Errorf("route: length out of range in %q", s)
+	}
+	addr := uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d)
+	return Prefix{Addr: addr & MaskOf(l), Len: l}, nil
+}
+
+// MaskOf returns the network mask with the top len bits set.
+func MaskOf(len int) uint32 {
+	if len <= 0 {
+		return 0
+	}
+	return ^uint32(0) << (32 - len)
+}
+
+// Contains reports whether addr falls inside the prefix.
+func (p Prefix) Contains(addr uint32) bool {
+	return addr&MaskOf(p.Len) == p.Addr
+}
+
+// Covers reports whether p covers q (q is equal to or more specific
+// than p).
+func (p Prefix) Covers(q Prefix) bool {
+	return q.Len >= p.Len && q.Addr&MaskOf(p.Len) == p.Addr
+}
+
+// Overlaps reports whether the two prefixes share any address.
+func (p Prefix) Overlaps(q Prefix) bool {
+	return p.Covers(q) || q.Covers(p)
+}
+
+// String formats the prefix in CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d/%d",
+		p.Addr>>24, p.Addr>>16&0xff, p.Addr>>8&0xff, p.Addr&0xff, p.Len)
+}
+
+// Route is a concrete protocol route: the data carried by one RIB entry,
+// without its topology condition (which the src package attaches).
+type Route struct {
+	Prefix   Prefix
+	Protocol Protocol
+	// NextHop is the router ID of the next hop (-1 for locally
+	// originated/connected routes).
+	NextHop int
+	// EgressLink is the link used to reach the next hop (-1 if local).
+	EgressLink int
+
+	// BGP attributes.
+	LocalPref    int      // higher preferred; default 100
+	ASPath       []uint32 // sequence of AS numbers, nearest first
+	MED          int      // lower preferred
+	Communities  []uint64
+	OriginatorID int // router ID of the origin, used as final tiebreak
+
+	// OSPF attribute.
+	Cost int // accumulated path cost; lower preferred
+
+	// PathLen abstracts the AS path under abstract interpretation
+	// (§7.3): when set (>= 0), ranking uses it instead of len(ASPath).
+	PathLen int
+
+	// Hops counts propagation hops; the engine drops routes exceeding
+	// its hop bound to guarantee termination (no best route under any
+	// failure scenario traverses a non-simple path).
+	Hops int
+
+	// PathBloom over-approximates the set of ASes on the (abstracted)
+	// path as a 128-bit Bloom filter. When abstract interpretation
+	// discards the concrete AS path, the bloom keeps the loop check
+	// sound: a route whose bloom contains the local AS is rejected.
+	// Merged routes union their blooms, so the check over-approximates
+	// (it may spuriously reject a merged route — a conservative loss
+	// of backup precision, never a false route).
+	PathBloom [2]uint64
+
+	// Aggregate marks a locally generated BGP aggregate route.
+	Aggregate bool
+}
+
+// NewLocal returns a locally originated route for p on the given
+// protocol (Connected or the protocol that redistributes it).
+func NewLocal(p Prefix, proto Protocol, origin int) *Route {
+	return &Route{
+		Prefix:       p,
+		Protocol:     proto,
+		NextHop:      -1,
+		EgressLink:   -1,
+		LocalPref:    100,
+		OriginatorID: origin,
+		PathLen:      -1,
+	}
+}
+
+// Clone returns a deep copy of r.
+func (r *Route) Clone() *Route {
+	cp := *r
+	cp.ASPath = append([]uint32(nil), r.ASPath...)
+	cp.Communities = append([]uint64(nil), r.Communities...)
+	return &cp
+}
+
+// ASPathLen returns the effective AS-path length used for ranking: the
+// abstracted PathLen when abstract interpretation is active, the real
+// path length otherwise.
+func (r *Route) ASPathLen() int {
+	if r.PathLen >= 0 {
+		return r.PathLen
+	}
+	return len(r.ASPath)
+}
+
+// HasCommunity reports whether the route carries community c.
+func (r *Route) HasCommunity(c uint64) bool {
+	for _, v := range r.Communities {
+		if v == c {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsAS reports whether the AS path contains asn (BGP loop
+// prevention).
+func (r *Route) ContainsAS(asn uint32) bool {
+	for _, v := range r.ASPath {
+		if v == asn {
+			return true
+		}
+	}
+	return false
+}
+
+// bloomBits returns the two Bloom-filter bit positions of an ASN.
+func bloomBits(asn uint32) (uint, uint) {
+	h1 := uint(asn*2654435761) % 128
+	h2 := uint((asn*0x9E3779B9)>>7) % 128
+	return h1, h2
+}
+
+// BloomAddAS records asn in the path bloom.
+func (r *Route) BloomAddAS(asn uint32) {
+	b1, b2 := bloomBits(asn)
+	r.PathBloom[b1/64] |= 1 << (b1 % 64)
+	r.PathBloom[b2/64] |= 1 << (b2 % 64)
+}
+
+// BloomMayContainAS reports whether asn may be on the abstracted path.
+func (r *Route) BloomMayContainAS(asn uint32) bool {
+	b1, b2 := bloomBits(asn)
+	return r.PathBloom[b1/64]&(1<<(b1%64)) != 0 &&
+		r.PathBloom[b2/64]&(1<<(b2%64)) != 0
+}
+
+// BloomUnion merges another route's path bloom into r's.
+func (r *Route) BloomUnion(o *Route) {
+	r.PathBloom[0] |= o.PathBloom[0]
+	r.PathBloom[1] |= o.PathBloom[1]
+}
+
+// Compare ranks two routes for the same prefix: negative if a is
+// preferred over b, positive if b is preferred, zero if they tie (an
+// ECMP group). The order follows standard router behaviour:
+//
+//  1. lower administrative distance (protocol preference);
+//  2. BGP: higher local-pref, shorter AS path, lower MED, eBGP over
+//     iBGP, then lower originator ID as the deterministic tiebreak;
+//  3. OSPF: lower cost, then lower originator ID;
+//  4. Static/connected: lower originator ID.
+//
+// The final originator tiebreak is skipped when ECMP considers routes of
+// equal cost equal — callers decide by using Compare (strict) or
+// SamePriority (ECMP grouping).
+func Compare(a, b *Route) int {
+	if d := a.Protocol.AdminDistance() - b.Protocol.AdminDistance(); d != 0 {
+		return d
+	}
+	switch a.Protocol {
+	case EBGP, IBGP:
+		if d := b.LocalPref - a.LocalPref; d != 0 {
+			return d
+		}
+		if d := a.ASPathLen() - b.ASPathLen(); d != 0 {
+			return d
+		}
+		if d := a.MED - b.MED; d != 0 {
+			return d
+		}
+	case OSPF:
+		if d := a.Cost - b.Cost; d != 0 {
+			return d
+		}
+	}
+	return 0
+}
+
+// Tiebreak orders routes deterministically inside an equal-priority
+// group: by next hop, then egress link. Used to keep symbolic RIBs
+// stable across runs.
+func Tiebreak(a, b *Route) int {
+	if d := a.NextHop - b.NextHop; d != 0 {
+		return d
+	}
+	return a.EgressLink - b.EgressLink
+}
+
+// SamePriority reports whether two routes tie under Compare (candidates
+// for an ECMP group).
+func SamePriority(a, b *Route) bool { return Compare(a, b) == 0 }
+
+// SameRoute reports whether two routes are the same logical route:
+// identical prefix, protocol, next hop and egress link. Algorithm 1 uses
+// this to detect re-advertisements that only update the topology
+// condition.
+func SameRoute(a, b *Route) bool {
+	return a.Prefix == b.Prefix && a.Protocol == b.Protocol &&
+		a.NextHop == b.NextHop && a.EgressLink == b.EgressLink &&
+		a.attrKey() == b.attrKey()
+}
+
+// attrKey folds the identity-relevant attributes into a comparable
+// value. Concrete AS paths distinguish routes unless abstract
+// interpretation replaced them with a path length (§7.3) — merging
+// routes that differ only in their concrete path is precisely the
+// abstraction, so it must not happen otherwise (it would break the
+// AS-path loop check downstream).
+func (r *Route) attrKey() string {
+	agg := 0
+	if r.Aggregate {
+		agg = 1
+	}
+	path := fmt.Sprint(r.ASPath)
+	if r.PathLen >= 0 {
+		path = fmt.Sprintf("len%d", r.PathLen)
+	}
+	return fmt.Sprintf("%d|%s|%d|%d|%d|%d", r.LocalPref, path, r.MED, r.Cost, r.OriginatorID, agg)
+}
+
+// Key returns a string identifying the logical route (prefix, protocol,
+// next hop, egress link, and ranking attributes); advertisement state
+// tracking uses it to detect re-advertisements and withdrawals.
+func (r *Route) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d|%s", r.Prefix, r.Protocol, r.NextHop, r.EgressLink, r.attrKey())
+}
+
+// String formats the route for debugging.
+func (r *Route) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s %s nh=%d", r.Prefix, r.Protocol, r.NextHop)
+	switch r.Protocol {
+	case EBGP, IBGP:
+		fmt.Fprintf(&b, " lp=%d aspath=%v", r.LocalPref, r.ASPath)
+	case OSPF:
+		fmt.Fprintf(&b, " cost=%d", r.Cost)
+	}
+	return b.String()
+}

@@ -1,0 +1,220 @@
+package route
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParsePrefix(t *testing.T) {
+	p, err := ParsePrefix("128.0.0.0/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != 0x80000000 || p.Len != 1 {
+		t.Fatalf("parsed %+v", p)
+	}
+	// Host bits below the mask are cleared.
+	p, err = ParsePrefix("10.1.2.3/8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Addr != 10<<24 {
+		t.Fatalf("host bits not cleared: %x", p.Addr)
+	}
+	if p.String() != "10.0.0.0/8" {
+		t.Fatalf("String: %s", p)
+	}
+	for _, bad := range []string{"10.0.0.0", "10.0.0/8", "256.0.0.0/8", "10.0.0.0/33", "10.0.0.0/-1", "x.0.0.0/8"} {
+		if _, err := ParsePrefix(bad); err == nil {
+			t.Errorf("ParsePrefix(%q) should fail", bad)
+		}
+	}
+}
+
+func TestMustParsePrefixPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustParsePrefix("bogus")
+}
+
+func TestPrefixContainsCovers(t *testing.T) {
+	p8 := MustParsePrefix("10.0.0.0/8")
+	p16 := MustParsePrefix("10.1.0.0/16")
+	other := MustParsePrefix("11.0.0.0/8")
+	all := MustParsePrefix("0.0.0.0/0")
+	if !p8.Contains(0x0A010203) || p8.Contains(0x0B000000) {
+		t.Error("Contains")
+	}
+	if !p8.Covers(p16) || p16.Covers(p8) || p8.Covers(other) {
+		t.Error("Covers")
+	}
+	if !all.Covers(p8) || !all.Contains(0xFFFFFFFF) {
+		t.Error("default route should cover everything")
+	}
+	if !p8.Overlaps(p16) || !p16.Overlaps(p8) || p8.Overlaps(other) {
+		t.Error("Overlaps")
+	}
+}
+
+func TestMaskOf(t *testing.T) {
+	if MaskOf(0) != 0 || MaskOf(32) != 0xFFFFFFFF || MaskOf(8) != 0xFF000000 {
+		t.Fatal("MaskOf")
+	}
+	if MaskOf(-3) != 0 {
+		t.Fatal("negative mask")
+	}
+}
+
+func TestAdminDistanceOrdering(t *testing.T) {
+	// connected < static < eBGP < OSPF < iBGP
+	order := []Protocol{Connected, Static, EBGP, OSPF, IBGP}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].AdminDistance() >= order[i].AdminDistance() {
+			t.Errorf("%v should beat %v", order[i-1], order[i])
+		}
+	}
+}
+
+func TestCompareBGP(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	base := func() *Route {
+		r := NewLocal(p, EBGP, 1)
+		r.ASPath = []uint32{1, 2}
+		return r
+	}
+	hi := base()
+	hi.LocalPref = 200
+	if Compare(hi, base()) >= 0 {
+		t.Error("higher local-pref should win")
+	}
+	short := base()
+	short.ASPath = []uint32{1}
+	if Compare(short, base()) >= 0 {
+		t.Error("shorter AS path should win")
+	}
+	lowMED := base()
+	lowMED.MED = -1
+	if Compare(lowMED, base()) >= 0 {
+		t.Error("lower MED should win")
+	}
+	if Compare(base(), base()) != 0 {
+		t.Error("identical routes should tie (ECMP)")
+	}
+}
+
+func TestCompareOSPF(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	a := NewLocal(p, OSPF, 1)
+	a.Cost = 5
+	b := NewLocal(p, OSPF, 2)
+	b.Cost = 7
+	if Compare(a, b) >= 0 {
+		t.Error("lower cost should win")
+	}
+	b.Cost = 5
+	if Compare(a, b) != 0 {
+		t.Error("equal cost should tie")
+	}
+}
+
+func TestCompareCrossProtocol(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	st := NewLocal(p, Static, 1)
+	bgp := NewLocal(p, EBGP, 1)
+	ospf := NewLocal(p, OSPF, 1)
+	if Compare(st, bgp) >= 0 || Compare(bgp, ospf) >= 0 {
+		t.Error("admin distance ordering broken")
+	}
+}
+
+func TestPathLenAbstraction(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	r := NewLocal(p, EBGP, 1)
+	r.ASPath = []uint32{1, 2, 3}
+	if r.ASPathLen() != 3 {
+		t.Fatal("concrete path length")
+	}
+	r.PathLen = 5
+	if r.ASPathLen() != 5 {
+		t.Fatal("abstracted path length should take precedence")
+	}
+}
+
+func TestSameRouteDistinguishesASPaths(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	a := NewLocal(p, EBGP, 1)
+	a.ASPath = []uint32{1, 2}
+	b := a.Clone()
+	if !SameRoute(a, b) {
+		t.Fatal("clones should be the same route")
+	}
+	b.ASPath = []uint32{1, 3}
+	if SameRoute(a, b) {
+		t.Fatal("different concrete AS paths are different routes (without abstraction)")
+	}
+	// Under abstraction, equal lengths merge.
+	a.PathLen, a.ASPath = 2, nil
+	b.PathLen, b.ASPath = 2, nil
+	if !SameRoute(a, b) {
+		t.Fatal("abstracted equal-length routes should merge")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	a := NewLocal(p, EBGP, 1)
+	a.ASPath = []uint32{1}
+	a.Communities = []uint64{100}
+	b := a.Clone()
+	b.ASPath[0] = 99
+	b.Communities[0] = 999
+	if a.ASPath[0] != 1 || a.Communities[0] != 100 {
+		t.Fatal("Clone shares slices")
+	}
+}
+
+func TestHasCommunityContainsAS(t *testing.T) {
+	p := MustParsePrefix("10.0.0.0/8")
+	r := NewLocal(p, EBGP, 1)
+	r.ASPath = []uint32{65001, 65002}
+	r.Communities = []uint64{7}
+	if !r.ContainsAS(65001) || r.ContainsAS(65999) {
+		t.Error("ContainsAS")
+	}
+	if !r.HasCommunity(7) || r.HasCommunity(8) {
+		t.Error("HasCommunity")
+	}
+}
+
+func TestQuickPrefixRoundTrip(t *testing.T) {
+	f := func(addr uint32, lenRaw uint8) bool {
+		l := int(lenRaw) % 33
+		p := Prefix{Addr: addr & MaskOf(l), Len: l}
+		q, err := ParsePrefix(p.String())
+		return err == nil && q == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCoversTransitive(t *testing.T) {
+	f := func(addr uint32, l1, l2, l3 uint8) bool {
+		a := Prefix{Len: int(l1) % 33}
+		a.Addr = addr & MaskOf(a.Len)
+		b := Prefix{Len: int(l2) % 33}
+		b.Addr = addr & MaskOf(b.Len)
+		c := Prefix{Len: int(l3) % 33}
+		c.Addr = addr & MaskOf(c.Len)
+		if a.Covers(b) && b.Covers(c) && !a.Covers(c) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,459 @@
+// Package sat implements a CDCL (conflict-driven clause learning) SAT
+// solver over CNF formulas: unit propagation with two watched literals,
+// first-UIP conflict analysis, and non-chronological backtracking.
+// It replaces the SMT solver (Z3) that Minesweeper-style
+// verification builds on — the repro environment has no Z3 bindings, and
+// the Minesweeper-substitute baseline only needs propositional
+// reasoning over link-failure variables plus cardinality constraints.
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index (from 0) shifted left, low bit = sign
+// (1 = negated).
+type Lit int32
+
+// MkLit builds a literal for variable v, negated if neg.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the complementary literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String formats the literal as ±v<i>.
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("¬v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learned bool
+}
+
+// Solver is a CDCL SAT solver. Create with NewSolver, add clauses, then
+// call Solve (possibly repeatedly, with incremental clause additions in
+// between).
+type Solver struct {
+	nVars   int
+	clauses []*clause
+	watches [][]*clause // watches[lit] = clauses watching lit
+
+	assign  []lbool
+	level   []int32
+	reason  []*clause
+	trail   []Lit
+	trailLo []int // trail index at each decision level
+
+	order    []int // static decision order (variable index)
+	propaged int
+	unsat    bool // formula proven unsatisfiable at level 0
+
+	// Stats counts solver work, reported by the benchmarks.
+	Stats struct {
+		Decisions    int
+		Propagations int
+		Conflicts    int
+		Learned      int
+	}
+}
+
+// NewSolver creates a solver with n variables.
+func NewSolver(n int) *Solver {
+	s := &Solver{nVars: n}
+	s.assign = make([]lbool, n)
+	s.level = make([]int32, n)
+	s.reason = make([]*clause, n)
+	s.watches = make([][]*clause, 2*n)
+	s.order = make([]int, n)
+	for i := range s.order {
+		s.order[i] = i
+	}
+	return s
+}
+
+// NumVars returns the number of variables.
+func (s *Solver) NumVars() int { return s.nVars }
+
+// AddClause adds a disjunction of literals. Returns false if the clause
+// makes the formula trivially unsatisfiable (empty clause at level 0).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	// Incremental use: clauses are always added at decision level 0.
+	s.backtrackTo(0)
+	if s.unsat {
+		return false
+	}
+	// Simplify: drop duplicate literals; detect tautologies.
+	seen := make(map[Lit]bool, len(lits))
+	out := lits[:0:0]
+	for _, l := range lits {
+		if seen[l.Not()] {
+			return true // tautology: always satisfied
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	// The two watched literals must not be false already (we are at
+	// decision level 0, so false means permanently false): move
+	// non-false literals to the watch positions, degrade to a unit
+	// assignment when only one candidate remains, and report
+	// unsatisfiability when none does.
+	w := 0
+	for i := 0; i < len(out) && w < 2; i++ {
+		if s.value(out[i]) != lFalse {
+			out[i], out[w] = out[w], out[i]
+			w++
+		}
+	}
+	switch w {
+	case 0:
+		s.unsat = true
+		return false
+	case 1:
+		if s.value(out[0]) == lTrue {
+			return true // already satisfied at level 0
+		}
+		if !s.enqueue(out[0], nil) {
+			s.unsat = true
+			return false
+		}
+		return true
+	}
+	c := &clause{lits: out}
+	s.clauses = append(s.clauses, c)
+	s.watch(c, out[0])
+	s.watch(c, out[1])
+	return true
+}
+
+// AddAtMostKFalse adds clauses forcing at most k of the given variables
+// to be false, via the sequential (totalizer-free) counter encoding with
+// auxiliary variables. Returns the updated solver (auxiliary variables
+// are appended).
+func (s *Solver) AddAtMostKFalse(vars []int, k int) {
+	// Equivalent: at most k of the literals ¬v are true.
+	lits := make([]Lit, len(vars))
+	for i, v := range vars {
+		lits[i] = MkLit(v, true)
+	}
+	s.AddAtMostK(lits, k)
+}
+
+// AddAtMostK constrains at most k of the given literals to be true,
+// using the sequential counter encoding (Sinz 2005).
+func (s *Solver) AddAtMostK(lits []Lit, k int) {
+	n := len(lits)
+	if k >= n {
+		return
+	}
+	if k == 0 {
+		for _, l := range lits {
+			s.AddClause(l.Not())
+		}
+		return
+	}
+	// Register auxiliary counter variables r[i][j]: "at least j+1 of
+	// the first i+1 literals are true".
+	aux := make([][]Lit, n)
+	for i := 0; i < n; i++ {
+		aux[i] = make([]Lit, k)
+		for j := 0; j < k; j++ {
+			aux[i][j] = MkLit(s.NewVar(), false)
+		}
+	}
+	s.AddClause(lits[0].Not(), aux[0][0])
+	for j := 1; j < k; j++ {
+		s.AddClause(aux[0][j].Not())
+	}
+	for i := 1; i < n; i++ {
+		s.AddClause(lits[i].Not(), aux[i][0])
+		s.AddClause(aux[i-1][0].Not(), aux[i][0])
+		for j := 1; j < k; j++ {
+			s.AddClause(lits[i].Not(), aux[i-1][j-1].Not(), aux[i][j])
+			s.AddClause(aux[i-1][j].Not(), aux[i][j])
+		}
+		s.AddClause(lits[i].Not(), aux[i-1][k-1].Not())
+	}
+}
+
+// NewVar appends a fresh variable and returns its index.
+func (s *Solver) NewVar() int {
+	v := s.nVars
+	s.nVars++
+	s.assign = append(s.assign, lUndef)
+	s.level = append(s.level, 0)
+	s.reason = append(s.reason, nil)
+	s.watches = append(s.watches, nil, nil)
+	s.order = append(s.order, v)
+	return v
+}
+
+func (s *Solver) watch(c *clause, l Lit) {
+	s.watches[l.Not()] = append(s.watches[l.Not()], c)
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+// enqueue assigns a literal true with the given reason clause. Returns
+// false on conflict with the current assignment.
+func (s *Solver) enqueue(l Lit, from *clause) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = int32(s.decisionLevel())
+	s.reason[v] = from
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLo) }
+
+// propagate runs unit propagation; returns the conflicting clause or nil.
+func (s *Solver) propagate() *clause {
+	for s.propaged < len(s.trail) {
+		l := s.trail[s.propaged]
+		s.propaged++
+		s.Stats.Propagations++
+		ws := s.watches[l]
+		s.watches[l] = ws[:0:0]
+		for i := 0; i < len(ws); i++ {
+			c := ws[i]
+			// Ensure the false literal is lits[1].
+			if c.lits[0] == l.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			if s.value(c.lits[0]) == lTrue {
+				s.watches[l] = append(s.watches[l], c)
+				continue
+			}
+			// Find a new literal to watch.
+			found := false
+			for j := 2; j < len(c.lits); j++ {
+				if s.value(c.lits[j]) != lFalse {
+					c.lits[1], c.lits[j] = c.lits[j], c.lits[1]
+					s.watch(c, c.lits[1])
+					found = true
+					break
+				}
+			}
+			if found {
+				continue
+			}
+			// Unit or conflicting.
+			s.watches[l] = append(s.watches[l], c)
+			if !s.enqueue(c.lits[0], c) {
+				// Conflict: restore remaining watches.
+				s.watches[l] = append(s.watches[l], ws[i+1:]...)
+				return c
+			}
+		}
+	}
+	return nil
+}
+
+// analyze performs first-UIP conflict analysis, returning the learned
+// clause and the backtrack level.
+func (s *Solver) analyze(conflict *clause) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for the asserting literal
+	seen := make([]bool, s.nVars)
+	counter := 0
+	var p Lit = -1
+	idx := len(s.trail) - 1
+	c := conflict
+	for {
+		start := 0
+		if p != -1 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			if seen[v] || s.level[v] == 0 {
+				continue
+			}
+			seen[v] = true
+			if int(s.level[v]) == s.decisionLevel() {
+				counter++
+			} else {
+				learnt = append(learnt, q)
+			}
+		}
+		// Find the next literal of the current level on the trail.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		counter--
+		seen[p.Var()] = false
+		if counter == 0 {
+			break
+		}
+		c = s.reason[p.Var()]
+	}
+	learnt[0] = p.Not()
+	// Backtrack to the second-highest level in the learned clause.
+	back := 0
+	for i := 1; i < len(learnt); i++ {
+		if int(s.level[learnt[i].Var()]) > back {
+			back = int(s.level[learnt[i].Var()])
+		}
+	}
+	return learnt, back
+}
+
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	lo := s.trailLo[level]
+	for i := len(s.trail) - 1; i >= lo; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = nil
+	}
+	s.trail = s.trail[:lo]
+	s.trailLo = s.trailLo[:level]
+	s.propaged = len(s.trail)
+}
+
+// Solve determines satisfiability under the given assumptions (literals
+// forced true for this call only). If satisfiable, Model returns the
+// assignment.
+func (s *Solver) Solve(assumptions ...Lit) bool {
+	s.backtrackTo(0)
+	if s.unsat {
+		return false
+	}
+	if s.propagate() != nil {
+		s.unsat = true
+		return false
+	}
+	// Apply assumptions as decision levels.
+	for _, a := range assumptions {
+		if s.value(a) == lTrue {
+			continue
+		}
+		if s.value(a) == lFalse {
+			s.backtrackTo(0)
+			return false
+		}
+		s.trailLo = append(s.trailLo, len(s.trail))
+		s.enqueue(a, nil)
+		if s.propagate() != nil {
+			s.backtrackTo(0)
+			return false
+		}
+	}
+	assumptionLevel := s.decisionLevel()
+	for {
+		conflict := s.propagate()
+		if conflict != nil {
+			s.Stats.Conflicts++
+			if s.decisionLevel() <= assumptionLevel {
+				s.backtrackTo(0)
+				return false
+			}
+			learnt, back := s.analyze(conflict)
+			if back < assumptionLevel {
+				back = assumptionLevel
+			}
+			s.backtrackTo(back)
+			if len(learnt) == 1 {
+				if !s.enqueue(learnt[0], nil) {
+					s.backtrackTo(0)
+					return false
+				}
+			} else {
+				c := &clause{lits: learnt, learned: true}
+				s.clauses = append(s.clauses, c)
+				s.Stats.Learned++
+				s.watch(c, learnt[0])
+				s.watch(c, learnt[1])
+				if !s.enqueue(learnt[0], c) {
+					s.backtrackTo(0)
+					return false
+				}
+			}
+			continue
+		}
+		// Decide.
+		next := -1
+		for _, v := range s.order {
+			if s.assign[v] == lUndef {
+				next = v
+				break
+			}
+		}
+		if next == -1 {
+			return true // full assignment found; caller reads Model
+		}
+		s.Stats.Decisions++
+		s.trailLo = append(s.trailLo, len(s.trail))
+		s.enqueue(MkLit(next, false), nil)
+	}
+}
+
+// Model returns the satisfying assignment found by the last successful
+// Solve call.
+func (s *Solver) Model() []bool {
+	m := make([]bool, s.nVars)
+	for v := 0; v < s.nVars; v++ {
+		m[v] = s.assign[v] == lTrue
+	}
+	return m
+}

@@ -1,0 +1,242 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := NewSolver(2)
+	if !s.Solve() {
+		t.Fatal("empty formula should be SAT")
+	}
+	s.AddClause(MkLit(0, false))
+	s.AddClause(MkLit(1, true))
+	if !s.Solve() {
+		t.Fatal("unit clauses should be SAT")
+	}
+	m := s.Model()
+	if !m[0] || m[1] {
+		t.Fatalf("model %v, want [true false]", m)
+	}
+}
+
+func TestContradiction(t *testing.T) {
+	s := NewSolver(1)
+	s.AddClause(MkLit(0, false))
+	if ok := s.AddClause(MkLit(0, true)); ok && s.Solve() {
+		t.Fatal("x ∧ ¬x should be UNSAT")
+	}
+}
+
+func TestSimpleImplicationChain(t *testing.T) {
+	// (¬x0 ∨ x1)(¬x1 ∨ x2)(x0) → all true.
+	s := NewSolver(3)
+	s.AddClause(MkLit(0, true), MkLit(1, false))
+	s.AddClause(MkLit(1, true), MkLit(2, false))
+	s.AddClause(MkLit(0, false))
+	if !s.Solve() {
+		t.Fatal("SAT expected")
+	}
+	m := s.Model()
+	if !m[0] || !m[1] || !m[2] {
+		t.Fatalf("model %v", m)
+	}
+}
+
+func TestPigeonhole(t *testing.T) {
+	// PHP(4,3): 4 pigeons, 3 holes — UNSAT and requires real search.
+	const pigeons, holes = 4, 3
+	s := NewSolver(pigeons * holes)
+	v := func(p, h int) int { return p*holes + h }
+	for p := 0; p < pigeons; p++ {
+		lits := make([]Lit, holes)
+		for h := 0; h < holes; h++ {
+			lits[h] = MkLit(v(p, h), false)
+		}
+		s.AddClause(lits...)
+	}
+	for h := 0; h < holes; h++ {
+		for p1 := 0; p1 < pigeons; p1++ {
+			for p2 := p1 + 1; p2 < pigeons; p2++ {
+				s.AddClause(MkLit(v(p1, h), true), MkLit(v(p2, h), true))
+			}
+		}
+	}
+	if s.Solve() {
+		t.Fatal("pigeonhole should be UNSAT")
+	}
+	if s.Stats.Conflicts == 0 {
+		t.Error("expected conflicts during pigeonhole search")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false)) // x0 ∨ x1
+	if !s.Solve(MkLit(0, true)) {                 // assume ¬x0
+		t.Fatal("SAT with ¬x0 expected")
+	}
+	if m := s.Model(); m[0] || !m[1] {
+		t.Fatalf("model %v, want x1", m)
+	}
+	if !s.Solve(MkLit(1, true)) { // assume ¬x1
+		t.Fatal("SAT with ¬x1 expected")
+	}
+	if s.Solve(MkLit(0, true), MkLit(1, true)) {
+		t.Fatal("assuming both false should be UNSAT")
+	}
+	// Solver still usable afterwards.
+	if !s.Solve() {
+		t.Fatal("should be SAT with no assumptions")
+	}
+}
+
+func TestIncrementalBlocking(t *testing.T) {
+	// Enumerate all models of (x0 ∨ x1) over 2 vars via blocking clauses.
+	s := NewSolver(2)
+	s.AddClause(MkLit(0, false), MkLit(1, false))
+	count := 0
+	for s.Solve() {
+		count++
+		if count > 4 {
+			t.Fatal("too many models")
+		}
+		m := s.Model()
+		block := make([]Lit, 2)
+		for v := 0; v < 2; v++ {
+			block[v] = MkLit(v, m[v])
+		}
+		s.AddClause(block...)
+	}
+	if count != 3 {
+		t.Fatalf("model count = %d, want 3", count)
+	}
+}
+
+func TestAtMostK(t *testing.T) {
+	for k := 0; k <= 4; k++ {
+		s := NewSolver(4)
+		lits := make([]Lit, 4)
+		for i := range lits {
+			lits[i] = MkLit(i, false)
+		}
+		s.AddAtMostK(lits, k)
+		// Count models over the original 4 variables.
+		models := make(map[[4]bool]bool)
+		for s.Solve() {
+			m := s.Model()
+			var key [4]bool
+			block := []Lit{}
+			for v := 0; v < 4; v++ {
+				key[v] = m[v]
+				block = append(block, MkLit(v, m[v]))
+			}
+			models[key] = true
+			s.AddClause(block...)
+		}
+		want := 0
+		for bits := 0; bits < 16; bits++ {
+			ones := 0
+			for i := 0; i < 4; i++ {
+				if bits>>i&1 == 1 {
+					ones++
+				}
+			}
+			if ones <= k {
+				want++
+			}
+		}
+		if len(models) != want {
+			t.Errorf("k=%d: %d models, want %d", k, len(models), want)
+		}
+	}
+}
+
+func TestAtMostKFalse(t *testing.T) {
+	s := NewSolver(3)
+	s.AddAtMostKFalse([]int{0, 1, 2}, 1)
+	// Forcing two variables false must be UNSAT.
+	if s.Solve(MkLit(0, true), MkLit(1, true)) {
+		t.Fatal("two false vars should violate at-most-1-false")
+	}
+	if !s.Solve(MkLit(0, true)) {
+		t.Fatal("one false var should be fine")
+	}
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 5 + r.Intn(4)
+		nc := 5 + r.Intn(20)
+		clauses := make([][]Lit, nc)
+		for i := range clauses {
+			cl := make([]Lit, 3)
+			for j := range cl {
+				cl[j] = MkLit(r.Intn(n), r.Intn(2) == 0)
+			}
+			clauses[i] = cl
+		}
+		s := NewSolver(n)
+		trivUnsat := false
+		for _, cl := range clauses {
+			if !s.AddClause(cl...) {
+				trivUnsat = true
+			}
+		}
+		got := !trivUnsat && s.Solve()
+		want := bruteSat(n, clauses)
+		if got != want {
+			t.Fatalf("trial %d: solver %v, brute force %v", trial, got, want)
+		}
+		if got {
+			// Verify the model actually satisfies every clause.
+			m := s.Model()
+			for _, cl := range clauses {
+				ok := false
+				for _, l := range cl {
+					if m[l.Var()] != l.Neg() {
+						ok = true
+					}
+				}
+				if !ok {
+					t.Fatalf("trial %d: model does not satisfy clause", trial)
+				}
+			}
+		}
+	}
+}
+
+func bruteSat(n int, clauses [][]Lit) bool {
+	for bits := 0; bits < 1<<n; bits++ {
+		ok := true
+		for _, cl := range clauses {
+			sat := false
+			for _, l := range cl {
+				val := bits>>l.Var()&1 == 1
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLitString(t *testing.T) {
+	if MkLit(3, false).String() != "v3" || MkLit(3, true).String() != "¬v3" {
+		t.Fatal("literal formatting")
+	}
+	if MkLit(2, false).Not() != MkLit(2, true) {
+		t.Fatal("Not")
+	}
+}

@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/spf"
+	"sre/internal/src"
+	"sre/internal/symbol"
+	"sre/internal/topology"
+)
+
+// Cross-validation: the symbolic engine's PFECs, evaluated on a concrete
+// failure scenario, must agree with concrete simulation of that
+// scenario, for every (source, destination address) pair and every
+// scenario. This is the soundness test of the whole reproduction.
+
+const figure1 = `
+topology
+  router A
+  router B
+  router C
+  link A B
+  link B C
+  link A C
+end
+router A
+  bgp 65001
+end
+router B
+  bgp 65002
+end
+router C
+  bgp 65003
+    network 128.0.0.0/1
+    network 192.0.0.0/2
+    neighbor A export-map NO192
+  route-map NO192
+    10 deny prefix 192.0.0.0/2
+    20 permit any
+  interface A
+    acl-in deny 192.0.0.0/2
+    acl-in permit any
+end
+`
+
+// crossCheck enumerates every failure scenario of the network (up to
+// maxDown failed links) and compares symbolic and concrete reachability
+// for every source router and every originated prefix.
+func crossCheck(t *testing.T, net *config.Network, maxDown int) {
+	t.Helper()
+	eng := src.New(net, src.Options{PruneK: -1})
+	if err := eng.Run(); err != nil {
+		t.Fatalf("src: %v", err)
+	}
+	fw, err := spf.NewForwarder(eng)
+	if err != nil {
+		t.Fatalf("spf: %v", err)
+	}
+	topoN := net.Topology
+	nLinks := topoN.NumLinks()
+	prefixes := net.AllPrefixes()
+	m := eng.Sp.M
+
+	// Symbolic reach BDDs per (src, prefix): delivered at any origin.
+	type pairBDD struct {
+		src topology.RouterID
+		pfx route.Prefix
+		bdd bdd.Node
+	}
+	var pairs []pairBDD
+	for s := 0; s < topoN.NumRouters(); s++ {
+		pfecs, err := fw.Forward(topology.RouterID(s))
+		if err != nil {
+			t.Fatalf("forward: %v", err)
+		}
+		for _, pfx := range prefixes {
+			origins := make(map[topology.RouterID]bool)
+			for _, o := range net.OriginsOf(pfx) {
+				origins[o] = true
+			}
+			hdr := eng.Sp.Prefix(pfx)
+			// Exclude addresses owned by a longer originated prefix.
+			for _, other := range prefixes {
+				if other != pfx && pfx.Covers(other) {
+					hdr = m.Diff(hdr, eng.Sp.Prefix(other))
+				}
+			}
+			reach := bdd.False
+			for _, pf := range pfecs {
+				if pf.Delivered && origins[pf.Dst()] {
+					reach = m.Or(reach, pf.Pred)
+				}
+			}
+			pairs = append(pairs, pairBDD{topology.RouterID(s), pfx, m.Ref(m.And(reach, hdr))})
+		}
+	}
+
+	// Enumerate scenarios.
+	var enumerate func(start int, down []topology.LinkID)
+	checked := 0
+	enumerate = func(start int, down []topology.LinkID) {
+		sc := NewScenario(down...)
+		res := Simulate(net, sc)
+		for _, pair := range pairs {
+			origins := make(map[topology.RouterID]bool)
+			for _, o := range net.OriginsOf(pair.pfx) {
+				origins[o] = true
+			}
+			addr := pair.pfx.Addr // representative address owned by pfx
+			if ownedByLonger(prefixes, pair.pfx, addr) {
+				continue
+			}
+			concrete := res.Reachable(pair.src, addr, origins)
+			symbolic := m.Eval(pair.bdd, func(v int) bool {
+				if v < symbol.HeaderBits {
+					return addr&(1<<(31-v)) != 0
+				}
+				return sc.Up(topology.LinkID(v - symbol.HeaderBits))
+			})
+			if concrete != symbolic {
+				t.Errorf("disagreement: src=%s prefix=%s down=%v concrete=%v symbolic=%v",
+					topoN.Name(pair.src), pair.pfx, down, concrete, symbolic)
+			}
+		}
+		checked++
+		if len(down) == maxDown {
+			return
+		}
+		for l := start; l < nLinks; l++ {
+			enumerate(l+1, append(down, topology.LinkID(l)))
+		}
+	}
+	enumerate(0, nil)
+	if t.Failed() {
+		t.Logf("checked %d scenarios", checked)
+	}
+}
+
+func ownedByLonger(prefixes []route.Prefix, pfx route.Prefix, addr uint32) bool {
+	for _, other := range prefixes {
+		if other != pfx && other.Len > pfx.Len && other.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+func parse(t *testing.T, text string) *config.Network {
+	t.Helper()
+	net, err := config.ParseString(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return net
+}
+
+func TestCrossCheckFigure1(t *testing.T) {
+	crossCheck(t, parse(t, figure1), 3)
+}
+
+func TestCrossCheckOSPFSquare(t *testing.T) {
+	crossCheck(t, parse(t, `
+topology
+  router A
+  router B
+  router C
+  router D
+  link A B
+  link A C
+  link B D
+  link C D
+end
+router A
+  ospf
+    network 10.0.1.0/24
+  exit
+end
+router B
+  ospf
+  exit
+end
+router C
+  ospf
+  exit
+  interface D
+    cost 3
+  exit
+end
+router D
+  ospf
+    network 10.0.2.0/24
+  exit
+end
+`), 4)
+}
+
+func TestCrossCheckStaticAndACL(t *testing.T) {
+	crossCheck(t, parse(t, `
+topology
+  router A
+  router B
+  router C
+  link A B
+  link B C
+  link A C
+end
+router A
+  ospf
+  exit
+  static 10.9.0.0/16 via C
+end
+router B
+  ospf
+    network 10.9.0.0/16
+  exit
+  interface A
+    acl-out deny 10.1.0.0/16
+    acl-out permit any
+  exit
+end
+router C
+  ospf
+    network 10.1.0.0/16
+  exit
+end
+`), 3)
+}
+
+func TestCrossCheckAggregation(t *testing.T) {
+	crossCheck(t, parse(t, `
+topology
+  router A
+  router B
+  router C
+  link A B
+  link B C
+end
+router A
+  bgp 65001
+end
+router B
+  bgp 65002
+    aggregate 10.0.0.0/8
+end
+router C
+  bgp 65003
+    network 10.0.0.0/9
+    network 10.128.0.0/9
+end
+`), 3)
+}
+
+// randomNetwork generates a small random network running one protocol
+// with random policies, for fuzz-style cross-checking.
+func randomNetwork(r *rand.Rand, routers int, useBGP bool) *config.Network {
+	topo := topology.NewTopology()
+	for i := 0; i < routers; i++ {
+		topo.AddRouter(fmt.Sprintf("r%d", i))
+	}
+	// Spanning tree plus ~routers/2 extra links.
+	for i := 1; i < routers; i++ {
+		topo.AddLink(topology.RouterID(i), topology.RouterID(r.Intn(i)))
+	}
+	extra := routers / 2
+	for e := 0; e < extra; e++ {
+		a, b := r.Intn(routers), r.Intn(routers)
+		if a == b {
+			continue
+		}
+		if _, dup := topo.LinkBetween(topology.RouterID(a), topology.RouterID(b)); !dup {
+			topo.AddLink(topology.RouterID(a), topology.RouterID(b))
+		}
+	}
+	net := config.NewNetwork(topo)
+	for i := 0; i < routers; i++ {
+		rc := net.Router(topology.RouterID(i))
+		if useBGP {
+			rc.BGP = &config.BGP{ASN: uint32(65000 + i),
+				ImportPolicy: map[string]string{}, ExportPolicy: map[string]string{}}
+		} else {
+			rc.OSPF = &config.OSPF{}
+			for _, lid := range topo.Router(topology.RouterID(i)).Links {
+				if r.Intn(3) == 0 {
+					rc.Interface(lid).OSPFCost = 1 + r.Intn(5)
+				}
+			}
+		}
+	}
+	// 2-3 originated prefixes at random routers.
+	nPfx := 2 + r.Intn(2)
+	for p := 0; p < nPfx; p++ {
+		owner := net.Router(topology.RouterID(r.Intn(routers)))
+		pfx := route.Prefix{Addr: uint32(10+p) << 24, Len: 8}
+		if useBGP {
+			owner.BGP.Networks = append(owner.BGP.Networks, pfx)
+		} else {
+			owner.OSPF.Networks = append(owner.OSPF.Networks, pfx)
+		}
+	}
+	// Random ACL on one interface.
+	if r.Intn(2) == 0 {
+		victim := net.Router(topology.RouterID(r.Intn(routers)))
+		links := topo.Router(topo.MustRouter(victim.Name)).Links
+		if len(links) > 0 {
+			itf := victim.Interface(links[r.Intn(len(links))])
+			itf.ACLIn = &config.ACL{Entries: []config.ACLEntry{
+				{Action: config.Deny, Prefix: route.Prefix{Addr: 10 << 24, Len: 8}},
+				{Action: config.Permit, Any: true},
+			}}
+		}
+	}
+	return net
+}
+
+func TestCrossCheckRandomOSPF(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNetwork(r, 4+r.Intn(2), false)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			crossCheck(t, net, 2)
+		})
+	}
+}
+
+func TestCrossCheckRandomBGP(t *testing.T) {
+	for seed := int64(100); seed < 110; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		net := randomNetwork(r, 4+r.Intn(2), true)
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			crossCheck(t, net, 2)
+		})
+	}
+}
+
+func TestSimulateFigure1AllUp(t *testing.T) {
+	net := parse(t, figure1)
+	res := Simulate(net, NewScenario())
+	a := net.Topology.MustRouter("A")
+	c := net.Topology.MustRouter("C")
+	dst := map[topology.RouterID]bool{c: true}
+	// 128/2 reachable directly.
+	if !res.Reachable(a, 0x80000000, dst) {
+		t.Error("128/2 should reach C")
+	}
+	// 192/2: diverted via B (reachable), since the route-map prevents
+	// the direct route and the ACL only blocks the direct path.
+	if !res.Reachable(a, 0xC0000000, dst) {
+		t.Error("192/2 should reach C via B")
+	}
+}
+
+func TestSimulateFigure1LinkABDown(t *testing.T) {
+	net := parse(t, figure1)
+	topo := net.Topology
+	a, b := topo.MustRouter("A"), topo.MustRouter("B")
+	ab, _ := topo.LinkBetween(a, b)
+	res := Simulate(net, NewScenario(ab))
+	c := topo.MustRouter("C")
+	dst := map[topology.RouterID]bool{c: true}
+	// With A-B down, 192/2 from A must fall back to the direct path,
+	// where C's inbound ACL drops it.
+	if res.Reachable(a, 0xC0000000, dst) {
+		t.Error("192/2 should be dropped when A-B is down")
+	}
+	if !res.Reachable(a, 0x80000000, dst) {
+		t.Error("128/2 should still reach C directly")
+	}
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"sre/internal/topology"
+)
+
+// HotLinks returns the set of links traversed by ANY delivering
+// forwarding branch of a packet for addr injected at src (the union over
+// ECMP branches), together with whether any branch delivers. The
+// NetDice-substitute baseline uses this as its "hot link" set: links
+// whose state can influence the packet's fate under the current
+// scenario.
+func (res *Result) HotLinks(src topology.RouterID, addr uint32, dst map[topology.RouterID]bool) (map[topology.LinkID]bool, bool) {
+	hot := make(map[topology.LinkID]bool)
+	delivered := res.collect(src, addr, dst, make(map[topology.RouterID]bool), hot)
+	if !delivered {
+		return nil, false
+	}
+	return hot, true
+}
+
+// collect explores every ECMP branch, recording traversed links of
+// delivering branches; returns whether any branch delivers.
+func (res *Result) collect(r topology.RouterID, addr uint32, dst map[topology.RouterID]bool, onPath map[topology.RouterID]bool, hot map[topology.LinkID]bool) bool {
+	if onPath[r] {
+		return false
+	}
+	onPath[r] = true
+	defer delete(onPath, r)
+	tier, local := res.lookup(r, addr)
+	delivered := false
+	if local && dst[r] {
+		delivered = true
+	}
+	t := res.Net.Topology
+	rc := res.Net.Router(r)
+	for _, rt := range tier {
+		if rt.EgressLink < 0 {
+			continue
+		}
+		lid := topology.LinkID(rt.EgressLink)
+		if !res.Sc.Up(lid) {
+			continue
+		}
+		if itf, ok := rc.Interfaces[lid]; ok && itf.ACLOut != nil && !itf.ACLOut.PermitsAddr(addr) {
+			continue
+		}
+		nbr := t.Link(lid).Other(r)
+		if itf, ok := res.Net.Router(nbr).Interfaces[lid]; ok && itf.ACLIn != nil && !itf.ACLIn.PermitsAddr(addr) {
+			continue
+		}
+		if res.collect(nbr, addr, dst, onPath, hot) {
+			hot[lid] = true
+			delivered = true
+		}
+	}
+	return delivered
+}
+
+// DeliveringPath returns the links of one delivering forwarding path for
+// addr from src, or nil when the packet is not delivered.
+func (res *Result) DeliveringPath(src topology.RouterID, addr uint32, dst map[topology.RouterID]bool) []topology.LinkID {
+	var path []topology.LinkID
+	var rec func(r topology.RouterID, onPath map[topology.RouterID]bool) bool
+	rec = func(r topology.RouterID, onPath map[topology.RouterID]bool) bool {
+		if onPath[r] {
+			return false
+		}
+		onPath[r] = true
+		defer delete(onPath, r)
+		tier, local := res.lookup(r, addr)
+		if local && dst[r] {
+			return true
+		}
+		t := res.Net.Topology
+		rc := res.Net.Router(r)
+		for _, rt := range tier {
+			if rt.EgressLink < 0 {
+				continue
+			}
+			lid := topology.LinkID(rt.EgressLink)
+			if !res.Sc.Up(lid) {
+				continue
+			}
+			if itf, ok := rc.Interfaces[lid]; ok && itf.ACLOut != nil && !itf.ACLOut.PermitsAddr(addr) {
+				continue
+			}
+			nbr := t.Link(lid).Other(r)
+			if itf, ok := res.Net.Router(nbr).Interfaces[lid]; ok && itf.ACLIn != nil && !itf.ACLIn.PermitsAddr(addr) {
+				continue
+			}
+			path = append(path, lid)
+			if rec(nbr, onPath) {
+				return true
+			}
+			path = path[:len(path)-1]
+		}
+		return false
+	}
+	if rec(src, make(map[topology.RouterID]bool)) {
+		return path
+	}
+	return nil
+}

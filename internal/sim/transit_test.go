@@ -1,0 +1,23 @@
+package sim
+
+import (
+	"testing"
+
+	"sre/internal/workload"
+)
+
+// The Gao–Rexford transit network exercises communities, local-pref and
+// export filters together; symbolic and concrete engines must agree on
+// every failure scenario.
+func TestCrossCheckTransitWAN(t *testing.T) {
+	net := workload.TransitWAN(2, 4, 5)
+	crossCheck(t, net, 1)
+}
+
+func TestCrossCheckBGPOSPFNoMesh(t *testing.T) {
+	// Single-AS network running both protocols without the iBGP mesh:
+	// OSPF carries everything; adjacent-only iBGP must not invent
+	// routes the simulator would not.
+	net := workload.SyntheticWAN("dual", 6, 9, workload.BGPOSPF, 2)
+	crossCheck(t, net, 2)
+}

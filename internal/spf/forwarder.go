@@ -1,0 +1,432 @@
+// Package spf implements Symbolic Packet Forwarding (§5 of the paper):
+// converting symbolic RIBs into symbolic FIBs whose rules match on both
+// the destination prefix and the topology condition, pre-computing port
+// predicates (forwarding predicates and ACL predicates, following the
+// atomic-predicates idea of §5.3), and forwarding fully symbolic packets
+// — BDDs over header bits and link variables — through the network to
+// discover Packet Failure Equivalence Classes (PFECs).
+package spf
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/src"
+	"sre/internal/symbol"
+	"sre/internal/topology"
+)
+
+// Discard is the pseudo egress of FIB rules that drop traffic (BGP
+// aggregates install a discard route at the aggregating router).
+const Discard topology.LinkID = -2
+
+// Local is the pseudo egress of FIB rules that deliver traffic locally
+// (connected networks).
+const Local topology.LinkID = -1
+
+// FIBRule is one symbolic forwarding rule: packets matching Prefix under
+// failure scenarios satisfying TC are sent out Egress (§5.2).
+type FIBRule struct {
+	Prefix route.Prefix
+	TC     bdd.Node
+	Egress topology.LinkID
+}
+
+// FIB is the ordered symbolic FIB of one router (longest prefix first).
+type FIB struct {
+	Rules []FIBRule
+}
+
+// PFEC is a packet failure equivalence class (Definition 1): the set of
+// (packet, failure) tuples — encoded by Pred, a BDD over header and link
+// variables — that traverse exactly the forwarding path Path starting at
+// Path[0].
+type PFEC struct {
+	Path      []topology.RouterID
+	Pred      bdd.Node
+	Delivered bool // packet reached a local-delivery rule at the last hop
+	Looped    bool // defensive: forwarding revisited a router
+}
+
+// Src returns the injection router of the PFEC.
+func (p *PFEC) Src() topology.RouterID { return p.Path[0] }
+
+// Dst returns the final router of the PFEC.
+func (p *PFEC) Dst() topology.RouterID { return p.Path[len(p.Path)-1] }
+
+// Traverses reports whether the forwarding path visits router w.
+func (p *PFEC) Traverses(w topology.RouterID) bool {
+	for _, r := range p.Path {
+		if r == w {
+			return true
+		}
+	}
+	return false
+}
+
+// String formats the PFEC for debugging.
+func (p *PFEC) String() string {
+	names := make([]string, len(p.Path))
+	for i, r := range p.Path {
+		names[i] = fmt.Sprintf("%d", r)
+	}
+	return fmt.Sprintf("PFEC(%s, delivered=%v)", strings.Join(names, "->"), p.Delivered)
+}
+
+// Forwarder executes symbolic packets over the symbolic FIBs of a
+// network.
+type Forwarder struct {
+	Net *config.Network
+	Sp  *symbol.Space
+
+	fibs []*FIB
+	// fwd[r][i] is the forwarding predicate of router r's i-th port
+	// (port i = i-th incident link), §5.3.
+	fwd [][]bdd.Node
+	// local[r] is the local-delivery predicate of router r.
+	local []bdd.Node
+	// dropAgg[r] is the predicate of aggregate discard rules.
+	dropAgg []bdd.Node
+	// aclIn[r][i] / aclOut[r][i] are the ACL predicates of port i.
+	aclIn  [][]bdd.Node
+	aclOut [][]bdd.Node
+
+	// MaxPFECs bounds the number of PFECs produced per source as a
+	// safety valve (0 = unlimited).
+	MaxPFECs int
+}
+
+// NewForwarder builds symbolic FIBs and port predicates from the
+// symbolic RIBs computed by eng. The engine must have Run successfully.
+func NewForwarder(eng *src.Engine) (*Forwarder, error) {
+	f := &Forwarder{Net: eng.Net, Sp: eng.Sp}
+	err := protect(func() {
+		f.build(eng)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func protect(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			// Only BDD resource errors are recoverable; runtime panics
+			// indicate bugs and must crash loudly.
+			if e, ok := r.(error); ok && errors.Is(e, bdd.ErrNodeLimit) {
+				err = e
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+// build generates FIBs and predicates (§5.2, §5.3).
+func (f *Forwarder) build(eng *src.Engine) {
+	t := f.Net.Topology
+	m := f.Sp.M
+	n := t.NumRouters()
+	f.fibs = make([]*FIB, n)
+	f.fwd = make([][]bdd.Node, n)
+	f.local = make([]bdd.Node, n)
+	f.dropAgg = make([]bdd.Node, n)
+	f.aclIn = make([][]bdd.Node, n)
+	f.aclOut = make([][]bdd.Node, n)
+
+	for ri := 0; ri < n; ri++ {
+		id := topology.RouterID(ri)
+		fib := f.buildFIB(eng, id)
+		f.fibs[ri] = fib
+		links := t.Router(id).Links
+		f.fwd[ri] = make([]bdd.Node, len(links))
+		for i := range f.fwd[ri] {
+			f.fwd[ri][i] = bdd.False
+		}
+		f.local[ri] = bdd.False
+		f.dropAgg[ri] = bdd.False
+
+		// Effective matches with longest-prefix-match masking: rules
+		// are grouped by prefix length (groups of equal length have
+		// disjoint header spaces, and rules of the same prefix are
+		// already condition-disjoint across priority tiers or
+		// intentionally overlapping for ECMP), so masking applies
+		// between length groups only.
+		matched := bdd.False
+		i := 0
+		for i < len(fib.Rules) {
+			j := i
+			for j < len(fib.Rules) && fib.Rules[j].Prefix.Len == fib.Rules[i].Prefix.Len {
+				j++
+			}
+			notMatched := m.Not(matched)
+			groupMatch := bdd.False
+			for k := i; k < j; k++ {
+				rule := fib.Rules[k]
+				match := m.And(f.Sp.Prefix(rule.Prefix), rule.TC)
+				eff := m.And(match, notMatched)
+				groupMatch = m.Or(groupMatch, match)
+				if eff == bdd.False {
+					continue
+				}
+				switch rule.Egress {
+				case Local:
+					f.local[ri] = m.Or(f.local[ri], eff)
+				case Discard:
+					f.dropAgg[ri] = m.Or(f.dropAgg[ri], eff)
+				default:
+					port := portIndex(t, id, rule.Egress)
+					f.fwd[ri][port] = m.Or(f.fwd[ri][port], eff)
+				}
+			}
+			matched = m.Or(matched, groupMatch)
+			i = j
+		}
+		m.Ref(f.local[ri])
+		m.Ref(f.dropAgg[ri])
+		for i := range f.fwd[ri] {
+			m.Ref(f.fwd[ri][i])
+		}
+
+		// ACL predicates.
+		rc := f.Net.Router(id)
+		f.aclIn[ri] = make([]bdd.Node, len(links))
+		f.aclOut[ri] = make([]bdd.Node, len(links))
+		for i, lid := range links {
+			itf := rc.Interfaces[lid]
+			var in, out *config.ACL
+			if itf != nil {
+				in, out = itf.ACLIn, itf.ACLOut
+			}
+			f.aclIn[ri][i] = m.Ref(f.aclPredicate(in))
+			f.aclOut[ri][i] = m.Ref(f.aclPredicate(out))
+		}
+		m.MaybeGC(0)
+	}
+}
+
+// buildFIB converts router r's symbolic RIB into a symbolic FIB ordered
+// by descending prefix length. Routes learned over iBGP carry no egress
+// link; they resolve recursively through the IGP routes towards the BGP
+// next hop's loopback (§4, multi-protocol support).
+func (f *Forwarder) buildFIB(eng *src.Engine, r topology.RouterID) *FIB {
+	m := f.Sp.M
+	rib := eng.RIB(r)
+	fib := &FIB{}
+	for _, p := range rib.Prefixes() {
+		for _, sr := range rib.Routes(p) {
+			if sr.TcRib == bdd.False {
+				continue
+			}
+			rt := sr.Route
+			if rt.Protocol == route.IBGP && rt.EgressLink < 0 && rt.NextHop >= 0 {
+				lb := src.LoopbackPrefix(topology.RouterID(rt.NextHop))
+				for _, igp := range rib.Routes(lb) {
+					if igp.TcRib == bdd.False || igp.Route.EgressLink < 0 {
+						continue
+					}
+					tc := m.And(sr.TcRib, igp.TcRib)
+					if tc != bdd.False {
+						fib.Rules = append(fib.Rules, FIBRule{Prefix: p, TC: tc,
+							Egress: topology.LinkID(igp.Route.EgressLink)})
+					}
+				}
+				continue
+			}
+			egress := topology.LinkID(rt.EgressLink)
+			if rt.EgressLink < 0 {
+				if rt.Aggregate {
+					egress = Discard
+				} else {
+					egress = Local
+				}
+			}
+			fib.Rules = append(fib.Rules, FIBRule{Prefix: p, TC: sr.TcRib, Egress: egress})
+		}
+	}
+	sort.SliceStable(fib.Rules, func(i, j int) bool {
+		if fib.Rules[i].Prefix.Len != fib.Rules[j].Prefix.Len {
+			return fib.Rules[i].Prefix.Len > fib.Rules[j].Prefix.Len
+		}
+		if fib.Rules[i].Prefix.Addr != fib.Rules[j].Prefix.Addr {
+			return fib.Rules[i].Prefix.Addr < fib.Rules[j].Prefix.Addr
+		}
+		return false
+	})
+	return fib
+}
+
+// aclPredicate compiles an ACL into a BDD over header variables using
+// first-match semantics with implicit deny (§5.3 "ACL predicates").
+func (f *Forwarder) aclPredicate(acl *config.ACL) bdd.Node {
+	if acl == nil {
+		return bdd.True
+	}
+	m := f.Sp.M
+	permit := bdd.False
+	matched := bdd.False
+	for _, e := range acl.Entries {
+		var match bdd.Node
+		if e.Any {
+			match = bdd.True
+		} else {
+			match = f.Sp.Prefix(e.Prefix)
+		}
+		eff := m.Diff(match, matched)
+		if e.Action == config.Permit {
+			permit = m.Or(permit, eff)
+		}
+		matched = m.Or(matched, match)
+	}
+	return permit
+}
+
+// FIBOf returns the symbolic FIB of router r.
+func (f *Forwarder) FIBOf(r topology.RouterID) *FIB { return f.fibs[r] }
+
+// LocalPredicate returns the local-delivery predicate of router r.
+func (f *Forwarder) LocalPredicate(r topology.RouterID) bdd.Node { return f.local[r] }
+
+// ForwardPredicate returns the forwarding predicate of router r's port
+// towards link lid.
+func (f *Forwarder) ForwardPredicate(r topology.RouterID, lid topology.LinkID) bdd.Node {
+	return f.fwd[r][portIndex(f.Net.Topology, r, lid)]
+}
+
+// portIndex returns the index of link lid among r's incident links.
+func portIndex(t *topology.Topology, r topology.RouterID, lid topology.LinkID) int {
+	for i, l := range t.Router(r).Links {
+		if l == lid {
+			return i
+		}
+	}
+	panic(fmt.Sprintf("spf: link %d not incident to router %d", lid, r))
+}
+
+// Forward injects a fully symbolic packet (all headers × all failure
+// scenarios) at src and returns the PFECs discovered (§5.4). Every
+// returned predicate is Ref'd; call ReleasePFECs when done.
+func (f *Forwarder) Forward(srcRouter topology.RouterID) ([]*PFEC, error) {
+	var out []*PFEC
+	err := protect(func() {
+		out = f.forward(srcRouter, bdd.True)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForwardHeaders is Forward restricted to an initial packet set (a BDD
+// over header variables), used by single-prefix analyses.
+func (f *Forwarder) ForwardHeaders(srcRouter topology.RouterID, headers bdd.Node) ([]*PFEC, error) {
+	var out []*PFEC
+	err := protect(func() {
+		out = f.forward(srcRouter, headers)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (f *Forwarder) forward(srcRouter topology.RouterID, initial bdd.Node) []*PFEC {
+	t := f.Net.Topology
+	m := f.Sp.M
+	var out []*PFEC
+	onPath := make(map[topology.RouterID]bool)
+	var path []topology.RouterID
+
+	emit := func(pred bdd.Node, delivered, looped bool) {
+		if f.MaxPFECs > 0 && len(out) >= f.MaxPFECs {
+			return
+		}
+		cp := make([]topology.RouterID, len(path))
+		copy(cp, path)
+		out = append(out, &PFEC{Path: cp, Pred: m.Ref(pred), Delivered: delivered, Looped: looped})
+	}
+
+	var visit func(r topology.RouterID, pkt bdd.Node)
+	visit = func(r topology.RouterID, pkt bdd.Node) {
+		if onPath[r] {
+			emit(pkt, false, true)
+			return
+		}
+		onPath[r] = true
+		path = append(path, r)
+		defer func() {
+			delete(onPath, r)
+			path = path[:len(path)-1]
+		}()
+		if delivered := m.And(pkt, f.local[r]); delivered != bdd.False {
+			emit(delivered, true, false)
+		}
+		for i, lid := range t.Router(r).Links {
+			outPkt := m.And(pkt, f.fwd[r][i])
+			if outPkt == bdd.False {
+				continue
+			}
+			outPkt = m.And(outPkt, f.aclOut[r][i])
+			outPkt = m.And(outPkt, f.Sp.LinkVar(lid))
+			if outPkt == bdd.False {
+				continue
+			}
+			nbr := t.Link(lid).Other(r)
+			inPort := portIndex(t, nbr, lid)
+			outPkt = m.And(outPkt, f.aclIn[nbr][inPort])
+			if outPkt == bdd.False {
+				continue
+			}
+			visit(nbr, outPkt)
+		}
+	}
+	visit(srcRouter, initial)
+	return out
+}
+
+// AllPFECs runs Forward from every router and returns the concatenated
+// PFEC sets.
+func (f *Forwarder) AllPFECs() ([]*PFEC, error) {
+	var out []*PFEC
+	t := f.Net.Topology
+	for r := 0; r < t.NumRouters(); r++ {
+		pfecs, err := f.Forward(topology.RouterID(r))
+		if err != nil {
+			ReleasePFECs(f.Sp, out)
+			return nil, err
+		}
+		out = append(out, pfecs...)
+		f.Sp.M.MaybeGC(0)
+	}
+	return out, nil
+}
+
+// ReleasePFECs drops the references held by a PFEC set.
+func ReleasePFECs(sp *symbol.Space, pfecs []*PFEC) {
+	for _, p := range pfecs {
+		sp.M.Deref(p.Pred)
+	}
+}
+
+// Release drops the references held by the forwarder's predicates.
+// The forwarder must not be used afterwards.
+func (f *Forwarder) Release() {
+	m := f.Sp.M
+	for r := range f.fwd {
+		for i := range f.fwd[r] {
+			m.Deref(f.fwd[r][i])
+			m.Deref(f.aclIn[r][i])
+			m.Deref(f.aclOut[r][i])
+		}
+		m.Deref(f.local[r])
+		m.Deref(f.dropAgg[r])
+	}
+}

@@ -1,0 +1,75 @@
+package spf
+
+import (
+	"testing"
+
+	"sre/internal/bdd"
+	"sre/internal/route"
+	"sre/internal/src"
+)
+
+// The data plane must resolve iBGP-learned routes recursively through
+// the IGP: R1's packets for the external prefix follow the OSPF path to
+// the border router R3 hop by hop, with every transit router forwarding
+// correctly.
+func TestIBGPForwarding(t *testing.T) {
+	eng, fw := build(t, `
+topology
+  router R1
+  router R2
+  router R3
+  router E
+  link R1 R2
+  link R2 R3
+  link R3 E
+end
+router R1
+  bgp 100
+  ospf
+  exit
+end
+router R2
+  bgp 100
+  ospf
+  exit
+end
+router R3
+  bgp 100
+  ospf
+  exit
+end
+router E
+  bgp 200
+    network 100.0.0.0/8
+end
+`, src.Options{PruneK: -1, IBGPFullMesh: true})
+	m := eng.Sp.M
+	topo := eng.Net.Topology
+	r1 := topo.MustRouter("R1")
+	e := topo.MustRouter("E")
+
+	pfecs, err := fw.ForwardHeaders(r1, eng.Sp.Prefix(route.MustParsePrefix("100.0.0.0/8")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleasePFECs(eng.Sp, pfecs)
+
+	found := false
+	for _, p := range pfecs {
+		if !p.Delivered || p.Dst() != e {
+			continue
+		}
+		found = true
+		if len(p.Path) != 4 {
+			t.Errorf("path %v should be R1→R2→R3→E", p.Path)
+		}
+		// Every link on the line must be up.
+		allUp := eng.Sp.AllLinksUp()
+		if m.And(p.Pred, allUp) == bdd.False {
+			t.Error("PFEC should cover the all-up scenario")
+		}
+	}
+	if !found {
+		t.Fatal("no delivering PFEC from R1 to E; iBGP resolution failed")
+	}
+}

@@ -1,0 +1,832 @@
+// Package src implements Symbolic Route Computation (§4 of the paper):
+// executing the network control plane with symbolic link states to
+// produce, for every router, a symbolic RIB — the set of all routes that
+// can materialize under some combination of link failures, each guarded
+// by a topology condition (a BDD over link variables).
+//
+// The engine follows Algorithm 1 of the paper: each imported route
+// carries a tcIn (condition under which the route is received); ranking
+// a prefix's route list derives tcRib (condition under which the route is
+// installed) by negating the conditions of all higher-priority routes;
+// only routes whose tcRib changed are re-advertised, avoiding the
+// withdraw/re-advertise cascades of Hoyan.
+//
+// The three optimizations of §7 are all implemented here: route pruning
+// (conjoining every imported condition with the filtering BDD lf^k),
+// prefix pruning (restricting the computation to a subset of prefixes,
+// driven by the stratified analysis in the analysis package), and
+// abstract interpretation (abstracting BGP AS paths to their length so
+// that parallel routes merge).
+package src
+
+import (
+	"errors"
+	"fmt"
+
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/symbol"
+	"sre/internal/topology"
+)
+
+// Options configures a symbolic route computation.
+type Options struct {
+	// PruneK enables route pruning (§7.1) when ≥ 0: imported topology
+	// conditions are conjoined with the filtering BDD lf^PruneK and
+	// routes whose condition becomes False are dropped. Negative
+	// disables pruning (the full failure space is explored).
+	PruneK int
+	// Abstract enables abstract interpretation (§7.3): BGP AS paths are
+	// abstracted to their length, letting routes that differ only in
+	// their concrete path merge into one symbolic route.
+	Abstract bool
+	// NoECMP disables multi-path route selection; by default routes of
+	// equal preference form one priority tier and are all installed.
+	NoECMP bool
+	// Prefixes restricts the computation to the given destination
+	// prefixes (prefix pruning, §7.2). Nil means every prefix
+	// originated in the network.
+	Prefixes []route.Prefix
+	// MaxHops bounds route propagation; zero means the number of
+	// routers (no best route follows a non-simple path).
+	MaxHops int
+	// MaxIterations bounds the total number of router activations as a
+	// divergence guard. Zero means 10000 × routers.
+	MaxIterations int
+	// IBGPFullMesh enables iBGP full-mesh sessions among routers that
+	// share an AS and run OSPF: sessions become virtual links whose
+	// conditions are the OSPF reachability conditions between the
+	// peers (§4, "Supporting multiple protocols").
+	IBGPFullMesh bool
+}
+
+// SymRoute is a symbolic route: a concrete route plus its topology
+// conditions (§4.1). TcIn is the condition under which the route is
+// imported; TcRib the condition under which it is the (an) installed
+// best route.
+type SymRoute struct {
+	Route *route.Route
+	TcIn  bdd.Node
+	TcRib bdd.Node
+}
+
+// RIB is the symbolic RIB of one router: for each prefix, the list of
+// symbolic routes sorted by decreasing preference.
+type RIB struct {
+	prefixes map[route.Prefix][]*SymRoute
+}
+
+// Routes returns the symbolic routes for prefix p, best first. The list
+// may contain entries whose TcRib is False: routes that are imported
+// under some failure scenarios but dominated in all of them.
+func (r *RIB) Routes(p route.Prefix) []*SymRoute { return r.prefixes[p] }
+
+// LiveRoutes returns the symbolic routes for prefix p that are installed
+// under at least one failure scenario (TcRib ≠ False), best first.
+func (r *RIB) LiveRoutes(p route.Prefix) []*SymRoute {
+	var out []*SymRoute
+	for _, sr := range r.prefixes[p] {
+		if sr.TcRib != bdd.False {
+			out = append(out, sr)
+		}
+	}
+	return out
+}
+
+// Prefixes returns every prefix with at least one route.
+func (r *RIB) Prefixes() []route.Prefix {
+	out := make([]route.Prefix, 0, len(r.prefixes))
+	for p := range r.prefixes {
+		out = append(out, p)
+	}
+	return out
+}
+
+// NumRoutes returns the number of symbolic routes in the RIB.
+func (r *RIB) NumRoutes() int {
+	n := 0
+	for _, l := range r.prefixes {
+		n += len(l)
+	}
+	return n
+}
+
+// Stats counts work done by the engine; Table 2 of the paper reports
+// route counts under different optimizations.
+type Stats struct {
+	RoutesImported int // advertisements processed (the paper's "No. Routes")
+	RoutesPruned   int // imports dropped by route pruning
+	RIBRoutes      int // symbolic routes resident in all RIBs at fixpoint
+	Activations    int // router activations until fixpoint
+	PeakBDDNodes   int
+}
+
+// Engine performs symbolic route computation over a configured network.
+type Engine struct {
+	Net  *config.Network
+	Sp   *symbol.Space
+	Opts Options
+
+	ribs   []*RIB
+	inbox  [][]message
+	queued []bool
+	queue  []topology.RouterID
+
+	filter    bdd.Node // lf^k, or True when pruning is off
+	adv       map[advKey]map[string]advEntry
+	prefixSet map[route.Prefix]bool // nil when unrestricted
+	stats     Stats
+
+	// iBGP full-mesh state (see ibgp.go).
+	meshMembers  map[topology.RouterID]bool
+	loopbackOSPF map[topology.RouterID]route.Prefix
+	vsessions    map[topology.RouterID][]virtualSession
+}
+
+type message struct {
+	from topology.RouterID
+	link topology.LinkID
+	rt   *route.Route // as transformed by the sender's export processing
+	tc   bdd.Node     // already conjoined with the link variable
+}
+
+type advKey struct {
+	link   topology.LinkID // -1 for virtual iBGP sessions
+	from   topology.RouterID
+	to     topology.RouterID
+	prefix route.Prefix
+}
+
+type advEntry struct {
+	rt *route.Route
+	tc bdd.Node
+}
+
+// New creates an engine over net, allocating a fresh symbolic space.
+func New(net *config.Network, opts Options) *Engine {
+	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
+	return NewWithSpace(net, sp, opts)
+}
+
+// NewWithSpace creates an engine sharing an existing symbolic space
+// (analysis pipelines reuse one space across SRC, SPF, and analysis so
+// all BDDs are compatible).
+func NewWithSpace(net *config.Network, sp *symbol.Space, opts Options) *Engine {
+	if opts.MaxHops == 0 {
+		opts.MaxHops = net.Topology.NumRouters()
+	}
+	if opts.MaxIterations == 0 {
+		opts.MaxIterations = 10000 * (net.Topology.NumRouters() + 1)
+	}
+	e := &Engine{
+		Net:  net,
+		Sp:   sp,
+		Opts: opts,
+		adv:  make(map[advKey]map[string]advEntry),
+	}
+	n := net.Topology.NumRouters()
+	e.ribs = make([]*RIB, n)
+	for i := range e.ribs {
+		e.ribs[i] = &RIB{prefixes: make(map[route.Prefix][]*SymRoute)}
+	}
+	e.inbox = make([][]message, n)
+	e.queued = make([]bool, n)
+	if opts.Prefixes != nil {
+		e.prefixSet = make(map[route.Prefix]bool, len(opts.Prefixes))
+		for _, p := range opts.Prefixes {
+			e.prefixSet[p] = true
+		}
+	}
+	return e
+}
+
+// RIB returns the symbolic RIB computed for router r (valid after Run).
+func (e *Engine) RIB(r topology.RouterID) *RIB { return e.ribs[r] }
+
+// TotalLiveRoutes returns the number of symbolic routes across all RIBs
+// that are installed under at least one failure scenario.
+func (e *Engine) TotalLiveRoutes() int {
+	n := 0
+	for _, rib := range e.ribs {
+		for p := range rib.prefixes {
+			n += len(rib.LiveRoutes(p))
+		}
+	}
+	return n
+}
+
+// Statistics returns work counters (valid after Run).
+func (e *Engine) Statistics() Stats {
+	s := e.stats
+	s.RIBRoutes = 0
+	for _, rib := range e.ribs {
+		s.RIBRoutes += rib.NumRoutes()
+	}
+	s.PeakBDDNodes = e.Sp.M.Statistics().PeakNodes
+	return s
+}
+
+// wantPrefix reports whether prefix p participates in this computation.
+func (e *Engine) wantPrefix(p route.Prefix) bool {
+	return e.prefixSet == nil || e.prefixSet[p]
+}
+
+// Run executes the control plane to its fixed point, filling the
+// symbolic RIBs. It returns bdd.ErrNodeLimit if the BDD table overflows
+// (the paper's "BDD limit" outcome) or an error if the computation does
+// not converge within the iteration bound.
+func (e *Engine) Run() error {
+	m := e.Sp.M
+	if e.Opts.PruneK >= 0 {
+		e.filter = m.Ref(e.Sp.AtMostKLinkFailures(e.Opts.PruneK))
+	} else {
+		e.filter = bdd.True
+	}
+	err := e.protect(func() {
+		if e.Opts.IBGPFullMesh {
+			if serr := e.setupVirtualSessions(); serr != nil {
+				panic(bddPanicWrap{serr})
+			}
+		}
+		e.originate()
+		for len(e.queue) > 0 {
+			r := e.queue[0]
+			e.queue = e.queue[1:]
+			e.queued[r] = false
+			e.stats.Activations++
+			if e.stats.Activations > e.Opts.MaxIterations {
+				panic(convergencePanic{})
+			}
+			e.updateRIB(r)
+			m.MaybeGC(0)
+		}
+	})
+	return err
+}
+
+type convergencePanic struct{}
+
+// bddPanicWrap carries a setup error across the protected region.
+type bddPanicWrap struct{ err error }
+
+// Error implements error.
+func (p bddPanicWrap) Error() string { return p.err.Error() }
+
+// Unwrap exposes the wrapped error for errors.Is.
+func (p bddPanicWrap) Unwrap() error { return p.err }
+
+// protect runs f, converting BDD node-limit panics and convergence
+// panics into errors.
+func (e *Engine) protect(f func()) (err error) {
+	defer func() {
+		r := recover()
+		switch r := r.(type) {
+		case nil:
+		case convergencePanic:
+			err = fmt.Errorf("src: no convergence after %d activations", e.Opts.MaxIterations)
+		default:
+			if be, ok := bddErr(r); ok {
+				err = be
+				return
+			}
+			panic(r)
+		}
+	}()
+	f()
+	return nil
+}
+
+// bddErr extracts an engine-level error from a recovered panic value:
+// BDD node-limit overflows and wrapped setup errors. Runtime panics are
+// NOT converted — they indicate bugs and must crash loudly.
+func bddErr(r interface{}) (error, bool) {
+	if e, ok := r.(error); ok {
+		if errors.Is(e, bdd.ErrNodeLimit) {
+			return e, true
+		}
+		if w, ok := r.(bddPanicWrap); ok {
+			return w.err, true
+		}
+	}
+	return nil, false
+}
+
+// originate seeds the RIBs with locally declared routes (§4.2
+// "Importing Routes": initially each router imports all routes declared
+// in the configurations, with tc = True).
+func (e *Engine) originate() {
+	t := e.Net.Topology
+	for i := 0; i < t.NumRouters(); i++ {
+		id := topology.RouterID(i)
+		rc := e.Net.Router(id)
+		for _, p := range rc.Originated() {
+			if !e.wantPrefix(p) {
+				continue
+			}
+			r := route.NewLocal(p, route.Connected, int(id))
+			e.insertLocal(id, r, bdd.True)
+		}
+		if pfx, ok := e.loopbackOSPF[id]; ok {
+			// Loopbacks back the iBGP mesh; they bypass any prefix
+			// restriction (sessions must exist regardless).
+			e.insertLocal(id, route.NewLocal(pfx, route.Connected, int(id)), bdd.True)
+		}
+		for _, s := range rc.Static {
+			if !e.wantPrefix(s.Prefix) {
+				continue
+			}
+			nbr := t.MustRouter(s.NextHop)
+			lid, ok := t.LinkBetween(id, nbr)
+			if !ok {
+				continue // validated earlier; defensive
+			}
+			r := route.NewLocal(s.Prefix, route.Static, int(id))
+			r.NextHop = int(nbr)
+			r.EgressLink = int(lid)
+			tc := e.Sp.M.And(e.Sp.LinkVar(lid), e.filter)
+			if tc != bdd.False {
+				e.insertLocal(id, r, tc)
+			}
+		}
+		e.markChanged(id)
+	}
+}
+
+// insertLocal installs an originated route with the given condition.
+func (e *Engine) insertLocal(r topology.RouterID, rt *route.Route, tc bdd.Node) {
+	m := e.Sp.M
+	sr := &SymRoute{Route: rt, TcIn: m.Ref(tc), TcRib: bdd.False}
+	list := e.ribs[r].prefixes[rt.Prefix]
+	list = insertSorted(list, sr)
+	e.ribs[r].prefixes[rt.Prefix] = list
+	e.recomputeTcRib(r, rt.Prefix)
+}
+
+// markChanged schedules router r for export of all its prefixes by
+// queueing a self-activation with no messages: updateRIB exports every
+// prefix whose advertisement state is out of date.
+func (e *Engine) markChanged(r topology.RouterID) {
+	for p := range e.ribs[r].prefixes {
+		e.exportPrefix(r, p)
+	}
+}
+
+// enqueue schedules router r for processing.
+func (e *Engine) enqueue(r topology.RouterID) {
+	if !e.queued[r] {
+		e.queued[r] = true
+		e.queue = append(e.queue, r)
+	}
+}
+
+// updateRIB implements Algorithm 1: merge pending imported routes into
+// the per-prefix lists, re-derive tcRib values, and re-advertise routes
+// whose tcRib changed.
+func (e *Engine) updateRIB(r topology.RouterID) {
+	msgs := e.inbox[r]
+	e.inbox[r] = nil
+	if len(msgs) == 0 {
+		return
+	}
+	m := e.Sp.M
+	changed := make(map[route.Prefix]bool)
+	for _, msg := range msgs {
+		e.stats.RoutesImported++
+		rt, tc := e.importTransform(r, msg)
+		if rt == nil {
+			m.Deref(msg.tc)
+			continue
+		}
+		list := e.ribs[r].prefixes[rt.Prefix]
+		idx := -1
+		for i, sr := range list {
+			if route.SameRoute(sr.Route, rt) {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 {
+			list[idx].Route = rt // refresh non-identity fields (path bloom)
+			old := list[idx].TcIn
+			if old != tc {
+				list[idx].TcIn = m.Ref(tc)
+				m.Deref(old)
+				changed[rt.Prefix] = true
+			}
+		} else if tc != bdd.False {
+			sr := &SymRoute{Route: rt, TcIn: m.Ref(tc), TcRib: bdd.False}
+			e.ribs[r].prefixes[rt.Prefix] = insertSorted(list, sr)
+			changed[rt.Prefix] = true
+		}
+		m.Deref(msg.tc)
+	}
+	// Re-rank changed prefixes first; aggregates are derived from the
+	// freshly installed conditions of their contributors.
+	ribChanged := make(map[route.Prefix]bool)
+	for p := range changed {
+		if e.recomputeTcRib(r, p) {
+			ribChanged[p] = true
+		}
+	}
+	rc := e.Net.Router(r)
+	if rc.BGP != nil && len(rc.BGP.Aggregates) > 0 {
+		for _, agg := range rc.BGP.Aggregates {
+			if !e.wantPrefix(agg) {
+				continue
+			}
+			trigger := false
+			for p := range ribChanged {
+				if agg.Covers(p) && agg != p {
+					trigger = true
+					break
+				}
+			}
+			if trigger && e.updateAggregate(r, agg) && e.recomputeTcRib(r, agg) {
+				ribChanged[agg] = true
+			}
+		}
+	}
+	for p := range ribChanged {
+		e.exportPrefix(r, p)
+	}
+}
+
+// importTransform applies receiver-side processing to an advertisement:
+// protocol classification, loop checks, import policy, cost
+// accumulation, hop bounding, and route pruning. It returns nil when
+// the route is rejected.
+func (e *Engine) importTransform(r topology.RouterID, msg message) (*route.Route, bdd.Node) {
+	rc := e.Net.Router(r)
+	rt := msg.rt.Clone()
+	rt.NextHop = int(msg.from)
+	rt.EgressLink = int(msg.link)
+	rt.Hops++
+	if rt.Hops > e.Opts.MaxHops {
+		return nil, bdd.False
+	}
+	fromName := e.Net.Topology.Name(msg.from)
+	switch rt.Protocol {
+	case route.EBGP, route.IBGP:
+		if rc.BGP == nil {
+			return nil, bdd.False
+		}
+		peerASN := e.Net.Router(msg.from).BGP.ASN
+		if peerASN == rc.BGP.ASN {
+			rt.Protocol = route.IBGP
+		} else {
+			rt.Protocol = route.EBGP
+			if rt.ContainsAS(rc.BGP.ASN) {
+				return nil, bdd.False // AS-path loop
+			}
+			if rt.BloomMayContainAS(rc.BGP.ASN) {
+				// Abstracted routes carry a bloom over the merged
+				// paths' ASes; rejecting on a (possible) hit keeps the
+				// loop check — and hence convergence — sound under
+				// abstraction.
+				return nil, bdd.False
+			}
+		}
+		if e.Opts.Abstract {
+			// Abstract interpretation: keep only the path length so
+			// routes differing in concrete AS path merge (§7.3).
+			rt.PathLen = rt.ASPathLen()
+			rt.ASPath = nil
+		}
+		if name, ok := rc.BGP.ImportPolicy[fromName]; ok {
+			out, permit := rc.RouteMaps[name].Apply(rt, rc.BGP.ASN)
+			if !permit {
+				return nil, bdd.False
+			}
+			rt = out
+		}
+	case route.OSPF:
+		if rc.OSPF == nil {
+			return nil, bdd.False
+		}
+		rt.Cost += rc.Interface(msg.link).OSPFCost
+	default:
+		return nil, bdd.False
+	}
+	tc := e.Sp.M.And(msg.tc, e.filter)
+	if tc == bdd.False && msg.tc != bdd.False {
+		e.stats.RoutesPruned++
+	}
+	return rt, tc
+}
+
+// recomputeTcRib re-derives the tcRib of every route of prefix p at
+// router r following equation (1): a route is installed when it is
+// imported and no strictly higher-priority route is installed. Routes in
+// the same priority tier (ECMP candidates) do not mask each other unless
+// NoECMP is set. It reports whether any tcRib changed, and drops list
+// entries that can never be imported (tcIn = False).
+func (e *Engine) recomputeTcRib(r topology.RouterID, p route.Prefix) bool {
+	m := e.Sp.M
+	list := e.ribs[r].prefixes[p]
+	if len(list) == 0 {
+		return false
+	}
+	anyChanged := false
+	matched := bdd.False
+	i := 0
+	for i < len(list) {
+		j := i + 1
+		if !e.Opts.NoECMP {
+			for j < len(list) && route.Compare(list[i].Route, list[j].Route) == 0 {
+				j++
+			}
+		}
+		notMatched := m.Not(matched)
+		tierIn := bdd.False
+		for k := i; k < j; k++ {
+			sr := list[k]
+			tcRib := m.And(sr.TcIn, notMatched)
+			if tcRib != sr.TcRib {
+				m.Ref(tcRib)
+				if sr.TcRib != bdd.False {
+					m.Deref(sr.TcRib)
+				}
+				sr.TcRib = tcRib
+				anyChanged = true
+			}
+			tierIn = m.Or(tierIn, sr.TcIn)
+		}
+		matched = m.Or(matched, tierIn)
+		i = j
+	}
+	// Drop entries that are withdrawn and uninstallable.
+	kept := list[:0]
+	for _, sr := range list {
+		if sr.TcIn == bdd.False && sr.TcRib == bdd.False {
+			continue
+		}
+		kept = append(kept, sr)
+	}
+	e.ribs[r].prefixes[p] = kept
+	return anyChanged
+}
+
+// updateAggregate recomputes the BGP aggregate route for prefix agg at
+// router r: its condition is the disjunction of the installed conditions
+// of all more-specific contributing routes (§4 "Supporting route
+// aggregation"). It reports whether the aggregate's condition changed.
+func (e *Engine) updateAggregate(r topology.RouterID, agg route.Prefix) bool {
+	m := e.Sp.M
+	tc := bdd.False
+	for p, list := range e.ribs[r].prefixes {
+		if !agg.Covers(p) || p == agg {
+			continue
+		}
+		for _, sr := range list {
+			if sr.Route.Aggregate {
+				continue
+			}
+			switch sr.Route.Protocol {
+			case route.EBGP, route.IBGP, route.Connected:
+				tc = m.Or(tc, sr.TcRib)
+			}
+		}
+	}
+	list := e.ribs[r].prefixes[agg]
+	for _, sr := range list {
+		if sr.Route.Aggregate {
+			if sr.TcIn == tc {
+				return false
+			}
+			m.Deref(sr.TcIn)
+			sr.TcIn = m.Ref(tc)
+			return true
+		}
+	}
+	if tc == bdd.False {
+		return false
+	}
+	rt := route.NewLocal(agg, route.EBGP, int(r))
+	rt.Aggregate = true
+	sr := &SymRoute{Route: rt, TcIn: m.Ref(tc), TcRib: bdd.False}
+	e.ribs[r].prefixes[agg] = insertSorted(list, sr)
+	return true
+}
+
+// insertSorted inserts sr into list keeping (Compare, Tiebreak) order.
+func insertSorted(list []*SymRoute, sr *SymRoute) []*SymRoute {
+	pos := len(list)
+	for i, cur := range list {
+		c := route.Compare(sr.Route, cur.Route)
+		if c < 0 || (c == 0 && route.Tiebreak(sr.Route, cur.Route) < 0) {
+			pos = i
+			break
+		}
+	}
+	list = append(list, nil)
+	copy(list[pos+1:], list[pos:])
+	list[pos] = sr
+	return list
+}
+
+// exportPrefix recomputes the advertisements of prefix p from router r
+// to every eligible neighbor and enqueues the differences (updates and
+// withdrawals) into the neighbors' inboxes.
+func (e *Engine) exportPrefix(r topology.RouterID, p route.Prefix) {
+	t := e.Net.Topology
+	rc := e.Net.Router(r)
+	for _, lid := range t.Router(r).Links {
+		if itf, ok := rc.Interfaces[lid]; ok && itf.Passive {
+			continue
+		}
+		nbr := t.Link(lid).Other(r)
+		nc := e.Net.Router(nbr)
+		if itf, ok := nc.Interfaces[lid]; ok && itf.Passive {
+			continue
+		}
+		e.exportTo(r, nbr, lid, p)
+	}
+	if rc.BGP != nil && len(e.vsessions[r]) > 0 {
+		e.exportVirtual(r, p)
+	}
+}
+
+// exportTo diffs the advertisement set of prefix p over link lid against
+// the previously sent state and enqueues changed routes.
+func (e *Engine) exportTo(r, nbr topology.RouterID, lid topology.LinkID, p route.Prefix) {
+	m := e.Sp.M
+	key := advKey{link: lid, from: r, to: nbr, prefix: p}
+	fresh := e.computeExports(r, nbr, lid, p)
+	prev := e.adv[key]
+	if prev == nil && len(fresh) == 0 {
+		return
+	}
+	changed := false
+	for k, entry := range fresh {
+		if old, ok := prev[k]; ok && old.tc == entry.tc {
+			continue
+		}
+		e.send(nbr, r, lid, entry.rt, entry.tc)
+		changed = true
+	}
+	for k, old := range prev {
+		if _, ok := fresh[k]; !ok {
+			// Withdrawal: re-advertise with condition False.
+			e.send(nbr, r, lid, old.rt, bdd.False)
+			changed = true
+		}
+	}
+	if changed || prev == nil {
+		for _, old := range prev {
+			m.Deref(old.tc)
+		}
+		for _, entry := range fresh {
+			m.Ref(entry.tc)
+		}
+		e.adv[key] = fresh
+		if changed {
+			e.enqueue(nbr)
+		}
+	}
+}
+
+// computeExports builds the advertisement set for prefix p from r to
+// nbr: every installed route eligible for the session, transformed by
+// export processing, grouped by logical identity with conditions OR-ed,
+// and conjoined with the link variable.
+func (e *Engine) computeExports(r, nbr topology.RouterID, lid topology.LinkID, p route.Prefix) map[string]advEntry {
+	m := e.Sp.M
+	rc, nc := e.Net.Router(r), e.Net.Router(nbr)
+	out := make(map[string]advEntry)
+	linkUp := e.Sp.LinkVar(lid)
+
+	bgpSession := rc.BGP != nil && nc.BGP != nil
+	ospfSession := rc.OSPF != nil && nc.OSPF != nil
+	nbrName := e.Net.Topology.Name(nbr)
+
+	// BGP aggregates suppress their contributing more-specifics.
+	suppressed := false
+	if rc.BGP != nil {
+		for _, agg := range rc.BGP.Aggregates {
+			if agg.Covers(p) && agg != p {
+				suppressed = true
+				break
+			}
+		}
+	}
+
+	add := func(rt *route.Route, tc bdd.Node) {
+		tc = m.And(tc, linkUp)
+		if tc == bdd.False {
+			return
+		}
+		k := rt.Key()
+		if cur, ok := out[k]; ok {
+			cur.rt.BloomUnion(rt) // merged abstracted routes union their path blooms
+			out[k] = advEntry{rt: cur.rt, tc: m.Or(cur.tc, tc)}
+		} else {
+			out[k] = advEntry{rt: rt, tc: tc}
+		}
+	}
+
+	for _, sr := range e.ribs[r].prefixes[p] {
+		if sr.TcRib == bdd.False {
+			continue
+		}
+		rt := sr.Route
+		// BGP eligibility and transformation. With an iBGP full mesh,
+		// same-AS advertisement happens over virtual sessions only.
+		if bgpSession && e.meshMembers != nil && e.meshMembers[r] && e.meshMembers[nbr] &&
+			rc.BGP.ASN == nc.BGP.ASN {
+			bgpSession = false
+		}
+		if bgpSession && !suppressed {
+			eligible := false
+			switch rt.Protocol {
+			case route.EBGP:
+				eligible = true
+			case route.IBGP:
+				// Standard iBGP: routes learned over iBGP are not
+				// re-advertised to iBGP peers (no route reflection).
+				eligible = nc.BGP.ASN != rc.BGP.ASN
+			case route.Connected:
+				for _, net := range bgpNetworks(rc) {
+					if net == p {
+						eligible = true
+						break
+					}
+				}
+			}
+			if rt.Aggregate {
+				eligible = true
+			}
+			if eligible {
+				adv := rt.Clone()
+				adv.Aggregate = false
+				adv.Hops = rt.Hops
+				if name, ok := rc.BGP.ExportPolicy[nbrName]; ok {
+					if transformed, permit := rc.RouteMaps[name].Apply(adv, rc.BGP.ASN); permit {
+						adv = transformed
+					} else {
+						adv = nil
+					}
+				}
+				if adv != nil {
+					if nc.BGP.ASN != rc.BGP.ASN {
+						adv.LocalPref = 100 // local-pref is not transitive over eBGP
+					}
+					adv.ASPath = append([]uint32{rc.BGP.ASN}, adv.ASPath...)
+					if adv.PathLen >= 0 {
+						adv.PathLen++
+						adv.ASPath = nil
+						adv.BloomAddAS(rc.BGP.ASN)
+					}
+					adv.Protocol = route.EBGP // classified precisely at import
+					adv.NextHop = int(r)
+					adv.EgressLink = int(lid)
+					add(adv, sr.TcRib)
+				}
+			}
+		}
+		// OSPF eligibility and transformation.
+		if ospfSession {
+			eligible := rt.Protocol == route.OSPF
+			if rt.Protocol == route.Connected {
+				for _, net := range ospfNetworks(rc) {
+					if net == p {
+						eligible = true
+						break
+					}
+				}
+				if pfx, ok := e.loopbackOSPF[r]; ok && pfx == p {
+					eligible = true // loopbacks back the iBGP mesh
+				}
+			}
+			if eligible {
+				adv := rt.Clone()
+				adv.Protocol = route.OSPF
+				adv.NextHop = int(r)
+				adv.EgressLink = int(lid)
+				add(adv, sr.TcRib)
+			}
+		}
+	}
+	return out
+}
+
+func bgpNetworks(rc *config.Router) []route.Prefix {
+	if rc.BGP == nil {
+		return nil
+	}
+	return rc.BGP.Networks
+}
+
+func ospfNetworks(rc *config.Router) []route.Prefix {
+	if rc.OSPF == nil {
+		return nil
+	}
+	return rc.OSPF.Networks
+}
+
+// send enqueues an advertisement into nbr's inbox.
+func (e *Engine) send(nbr, from topology.RouterID, lid topology.LinkID, rt *route.Route, tc bdd.Node) {
+	e.Sp.M.Ref(tc)
+	e.inbox[nbr] = append(e.inbox[nbr], message{from: from, link: lid, rt: rt, tc: tc})
+	e.enqueue(nbr)
+}

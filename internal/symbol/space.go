@@ -1,0 +1,140 @@
+// Package symbol defines the symbolic variable space shared by symbolic
+// route computation, symbolic packet forwarding, and property analysis.
+//
+// Following §5.1 of the paper, a symbolic packet is a bit vector of
+// header bits plus one boolean per link. We use the 32 destination-IP
+// bits as the header (the paper's walkthrough and evaluation also match
+// on destination prefixes), ordered ABOVE the link variables in the BDD:
+// variable i (0 ≤ i < 32) is destination bit i counted from the most
+// significant bit, and variable 32+j is the link variable of link j
+// (true = up). Algorithm 2's Extract depends on this ordering: splitting
+// a property BDD at level 32 decouples packet BDDs from topology BDDs.
+package symbol
+
+import (
+	"sre/internal/bdd"
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+// HeaderBits is the number of packet header variables (destination IP).
+const HeaderBits = 32
+
+// Space wraps a BDD manager with the header/link variable layout.
+type Space struct {
+	M     *bdd.Manager
+	Links int // number of links (and link variables)
+
+	prefixCache map[route.Prefix]bdd.Node
+	allLinkVars []int
+}
+
+// NewSpace creates a symbolic space for a topology with the given number
+// of links. extraVars reserves additional variables after the link
+// variables (used for node-failure variables in probabilistic analysis).
+func NewSpace(links int, cfg bdd.Config, extraVars int) *Space {
+	cfg.Vars = HeaderBits + links + extraVars
+	s := &Space{
+		M:           bdd.New(cfg),
+		Links:       links,
+		prefixCache: make(map[route.Prefix]bdd.Node),
+	}
+	s.allLinkVars = make([]int, links)
+	for i := range s.allLinkVars {
+		s.allLinkVars[i] = HeaderBits + i
+	}
+	return s
+}
+
+// LinkVarIndex returns the BDD variable index of link l.
+func (s *Space) LinkVarIndex(l topology.LinkID) int { return HeaderBits + int(l) }
+
+// LinkVar returns the BDD "link l is up".
+func (s *Space) LinkVar(l topology.LinkID) bdd.Node {
+	return s.M.Var(s.LinkVarIndex(l))
+}
+
+// LinkVars returns the variable indices of all links.
+func (s *Space) LinkVars() []int { return s.allLinkVars }
+
+// NodeVarIndex returns the variable index reserved for router r's node
+// state (requires the space to have been created with extraVars ≥
+// number of routers).
+func (s *Space) NodeVarIndex(r topology.RouterID) int {
+	return HeaderBits + s.Links + int(r)
+}
+
+// Prefix returns the BDD over header variables matching destination
+// addresses inside p (a cube fixing the top p.Len bits).
+func (s *Space) Prefix(p route.Prefix) bdd.Node {
+	if n, ok := s.prefixCache[p]; ok {
+		return n
+	}
+	// Build bottom-up so each intermediate node is final (levels
+	// ascend from bit p.Len-1 down to 0).
+	n := bdd.True
+	for bit := p.Len - 1; bit >= 0; bit-- {
+		if p.Addr&(1<<(31-bit)) != 0 {
+			n = s.M.And(s.M.Var(bit), n)
+		} else {
+			n = s.M.And(s.M.NVar(bit), n)
+		}
+	}
+	s.M.Ref(n)
+	s.prefixCache[p] = n
+	return n
+}
+
+// AddrCube returns the BDD matching exactly the destination address a.
+func (s *Space) AddrCube(a uint32) bdd.Node {
+	return s.Prefix(route.Prefix{Addr: a, Len: 32})
+}
+
+// AtMostKLinkFailures returns the paper's filtering BDD lf^k (§7.1): true
+// iff at most k link variables are false.
+func (s *Space) AtMostKLinkFailures(k int) bdd.Node {
+	return s.M.AtMostKFalse(s.allLinkVars, k)
+}
+
+// AllLinksUp returns the cube with every link variable true.
+func (s *Space) AllLinksUp() bdd.Node {
+	return s.M.AtMostKFalse(s.allLinkVars, 0)
+}
+
+// TopoOnly existentially quantifies the header bits out of f, leaving a
+// condition over link variables only.
+func (s *Space) TopoOnly(f bdd.Node) bdd.Node {
+	vars := make([]int, HeaderBits)
+	for i := range vars {
+		vars[i] = i
+	}
+	return s.M.ExistsSet(f, vars)
+}
+
+// HeaderOnly existentially quantifies the link (and node) variables out
+// of f, leaving a packet-set BDD.
+func (s *Space) HeaderOnly(f bdd.Node) bdd.Node {
+	vars := make([]int, s.M.NumVars()-HeaderBits)
+	for i := range vars {
+		vars[i] = HeaderBits + i
+	}
+	return s.M.ExistsSet(f, vars)
+}
+
+// LinkProbabilities returns a probability vector assigning each link
+// variable an up-probability of 1-pDown, and every other variable 1
+// (deterministically true).
+func (s *Space) LinkProbabilities(pDown float64) []float64 {
+	p := make([]float64, s.M.NumVars())
+	for i := range p {
+		p[i] = 1
+	}
+	for _, v := range s.allLinkVars {
+		p[v] = 1 - pDown
+	}
+	return p
+}
+
+// AddressInPrefix returns a concrete address inside p (the network
+// address).
+func AddressInPrefix(p route.Prefix) uint32 { return p.Addr }

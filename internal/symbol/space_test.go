@@ -1,0 +1,121 @@
+package symbol
+
+import (
+	"testing"
+
+	"sre/internal/bdd"
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+func TestVariableLayout(t *testing.T) {
+	s := NewSpace(5, bdd.Config{}, 3)
+	if s.M.NumVars() != HeaderBits+5+3 {
+		t.Fatalf("vars = %d", s.M.NumVars())
+	}
+	if s.LinkVarIndex(0) != HeaderBits || s.LinkVarIndex(4) != HeaderBits+4 {
+		t.Fatal("link variable layout")
+	}
+	if s.NodeVarIndex(0) != HeaderBits+5 {
+		t.Fatal("node variable layout")
+	}
+	if got := s.LinkVars(); len(got) != 5 || got[0] != HeaderBits {
+		t.Fatalf("LinkVars = %v", got)
+	}
+}
+
+func TestPrefixEncoding(t *testing.T) {
+	s := NewSpace(2, bdd.Config{}, 0)
+	p := s.Prefix(route.MustParsePrefix("128.0.0.0/1"))
+	// Matches addresses with the top bit set.
+	if !s.M.Eval(p, func(v int) bool { return v == 0 }) {
+		t.Error("128/1 should match top-bit-set")
+	}
+	if s.M.Eval(p, func(v int) bool { return false }) {
+		t.Error("128/1 should not match 0.0.0.0")
+	}
+	// Default route matches everything.
+	if s.Prefix(route.MustParsePrefix("0.0.0.0/0")) != bdd.True {
+		t.Error("0/0 should be True")
+	}
+	// Caching returns the identical node.
+	if s.Prefix(route.MustParsePrefix("128.0.0.0/1")) != p {
+		t.Error("prefix cache broken")
+	}
+	// Nested prefixes: /2 implies /1.
+	q := s.Prefix(route.MustParsePrefix("192.0.0.0/2"))
+	if s.M.And(q, p) != q {
+		t.Error("192/2 ⊆ 128/1")
+	}
+}
+
+func TestAddrCube(t *testing.T) {
+	s := NewSpace(1, bdd.Config{}, 0)
+	const addr = 0xC0A80101 // 192.168.1.1
+	c := s.AddrCube(addr)
+	if !s.M.Eval(c, func(v int) bool { return addr&(1<<(31-v)) != 0 }) {
+		t.Fatal("cube does not match its own address")
+	}
+	if got := s.M.SatCount(c, HeaderBits); got != 1 {
+		t.Fatalf("address cube should have exactly 1 assignment, got %v", got)
+	}
+}
+
+func TestAtMostKLinkFailures(t *testing.T) {
+	s := NewSpace(4, bdd.Config{}, 0)
+	f := s.AtMostKLinkFailures(1)
+	// All up: ok. One down: ok. Two down: no.
+	eval := func(down ...int) bool {
+		return s.M.Eval(f, func(v int) bool {
+			for _, d := range down {
+				if v == s.LinkVarIndex(topology.LinkID(d)) {
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if !eval() || !eval(2) {
+		t.Error("≤1 failures should satisfy")
+	}
+	if eval(1, 3) {
+		t.Error("2 failures should violate k=1")
+	}
+	if s.AllLinksUp() != s.AtMostKLinkFailures(0) {
+		t.Error("AllLinksUp should equal lf^0")
+	}
+}
+
+func TestTopoAndHeaderProjection(t *testing.T) {
+	s := NewSpace(3, bdd.Config{}, 0)
+	hdr := s.Prefix(route.MustParsePrefix("10.0.0.0/8"))
+	link := s.M.Var(s.LinkVarIndex(1))
+	f := s.M.And(hdr, link)
+	if got := s.TopoOnly(f); got != link {
+		t.Errorf("TopoOnly = %s", s.M.Format(got, nil))
+	}
+	if got := s.HeaderOnly(f); got != hdr {
+		t.Errorf("HeaderOnly = %s", s.M.Format(got, nil))
+	}
+}
+
+func TestLinkProbabilities(t *testing.T) {
+	s := NewSpace(3, bdd.Config{}, 2)
+	p := s.LinkProbabilities(0.01)
+	if len(p) != s.M.NumVars() {
+		t.Fatal("length")
+	}
+	for i := 0; i < HeaderBits; i++ {
+		if p[i] != 1 {
+			t.Fatal("header vars must be deterministic")
+		}
+	}
+	for _, v := range s.LinkVars() {
+		if p[v] != 0.99 {
+			t.Fatal("link prob")
+		}
+	}
+	if p[s.NodeVarIndex(0)] != 1 {
+		t.Fatal("node vars default to up")
+	}
+}

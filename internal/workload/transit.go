@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sre/internal/config"
+	"sre/internal/route"
+	"sre/internal/topology"
+)
+
+// TransitWAN generates a policy-rich inter-domain network following the
+// Gao–Rexford rules: ASes form a provider/customer hierarchy with some
+// peer links, and every BGP session carries the standard valley-free
+// policies — customer routes preferred over peer routes over provider
+// routes (local-pref), and peer/provider-learned routes never exported
+// to other peers or providers (community tagging + export filters).
+// Gao–Rexford networks are guaranteed convergent, which the engine's
+// tests rely on; they exercise communities, local-pref, and export
+// filtering at scale, unlike the policy-free WAN generators.
+//
+// tiers controls the depth of the hierarchy; width the ASes per tier.
+func TransitWAN(tiers, width int, seed int64) *config.Network {
+	const (
+		commCustomer = 100
+		commPeer     = 200
+		commProvider = 300
+	)
+	r := rand.New(rand.NewSource(seed))
+	topo := topology.NewTopology()
+	ids := make([][]topology.RouterID, tiers)
+	for tier := 0; tier < tiers; tier++ {
+		ids[tier] = make([]topology.RouterID, width)
+		for i := 0; i < width; i++ {
+			ids[tier][i] = topo.AddRouter(fmt.Sprintf("t%d-as%d", tier, i))
+		}
+	}
+	// relationship[link] from the perspective of link.A: "provider"
+	// means A is the provider of B.
+	type rel int
+	const (
+		providerOf rel = iota // A provides transit to B
+		peerWith
+	)
+	linkRel := make(map[topology.LinkID]rel)
+	// Provider links: each AS below tier 0 has 1-2 providers in the
+	// tier above.
+	for tier := 1; tier < tiers; tier++ {
+		for i := 0; i < width; i++ {
+			nProv := 1 + r.Intn(2)
+			perm := r.Perm(width)
+			for p := 0; p < nProv && p < width; p++ {
+				lid := topo.AddLink(ids[tier-1][perm[p]], ids[tier][i])
+				linkRel[lid] = providerOf
+			}
+		}
+	}
+	// Peer links within each tier.
+	for tier := 0; tier < tiers; tier++ {
+		for i := 0; i+1 < width; i += 2 {
+			lid := topo.AddLink(ids[tier][i], ids[tier][i+1])
+			linkRel[lid] = peerWith
+		}
+	}
+
+	net := config.NewNetwork(topo)
+	asn := func(id topology.RouterID) uint32 { return uint32(65000 + int(id)) }
+	for i := 0; i < topo.NumRouters(); i++ {
+		id := topology.RouterID(i)
+		rc := net.Router(id)
+		rc.BGP = &config.BGP{ASN: asn(id),
+			ImportPolicy: map[string]string{}, ExportPolicy: map[string]string{}}
+		rc.BGP.Networks = []route.Prefix{routerPrefix(i)}
+	}
+	// Gao–Rexford route maps per session direction.
+	addMaps := func(id topology.RouterID) {
+		rc := net.Router(id)
+		rc.RouteMaps["FROM-CUST"] = &config.RouteMap{Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Permit, SetLocalPref: 200, AddCommunity: commCustomer},
+		}}
+		rc.RouteMaps["FROM-PEER"] = &config.RouteMap{Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Permit, SetLocalPref: 150, AddCommunity: commPeer},
+		}}
+		rc.RouteMaps["FROM-PROV"] = &config.RouteMap{Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Permit, SetLocalPref: 100, AddCommunity: commProvider},
+		}}
+		// To customers: everything. To peers and providers: only
+		// customer routes and own originations (no valley transit).
+		rc.RouteMaps["TO-PEER-OR-PROV"] = &config.RouteMap{Clauses: []*config.Clause{
+			{Seq: 10, Action: config.Deny, MatchCommunity: commPeer},
+			{Seq: 20, Action: config.Deny, MatchCommunity: commProvider},
+			{Seq: 30, Action: config.Permit},
+		}}
+	}
+	for i := 0; i < topo.NumRouters(); i++ {
+		addMaps(topology.RouterID(i))
+	}
+	for lid, relation := range linkRel {
+		l := topo.Link(lid)
+		a, b := l.A, l.B
+		an, bn := topo.Name(a), topo.Name(b)
+		ac, bc := net.Router(a), net.Router(b)
+		switch relation {
+		case providerOf: // a provides transit to b: b is a's customer
+			ac.BGP.ImportPolicy[bn] = "FROM-CUST"
+			bc.BGP.ImportPolicy[an] = "FROM-PROV"
+			bc.BGP.ExportPolicy[an] = "TO-PEER-OR-PROV"
+		case peerWith:
+			ac.BGP.ImportPolicy[bn] = "FROM-PEER"
+			bc.BGP.ImportPolicy[an] = "FROM-PEER"
+			ac.BGP.ExportPolicy[bn] = "TO-PEER-OR-PROV"
+			bc.BGP.ExportPolicy[an] = "TO-PEER-OR-PROV"
+		}
+	}
+	return net
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"testing"
+
+	"sre/internal/config"
+	"sre/internal/topology"
+)
+
+func TestFigure1Shape(t *testing.T) {
+	net := Figure1()
+	if net.Topology.NumRouters() != 3 || net.Topology.NumLinks() != 3 {
+		t.Fatal("figure 1 shape")
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSyntheticWANDeterministic(t *testing.T) {
+	a := SyntheticWAN("x", 20, 30, BGP, 7)
+	b := SyntheticWAN("x", 20, 30, BGP, 7)
+	if config.Format(a) != config.Format(b) {
+		t.Error("same seed must generate identical networks")
+	}
+	c := SyntheticWAN("x", 20, 30, BGP, 8)
+	if config.Format(a) == config.Format(c) {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestSyntheticWANConnected(t *testing.T) {
+	net := SyntheticWAN("x", 25, 40, OSPF, 3)
+	topo := net.Topology
+	for i := 1; i < topo.NumRouters(); i++ {
+		if !topo.Connected(0, topology.RouterID(i), nil) {
+			t.Fatalf("router %d disconnected", i)
+		}
+	}
+}
+
+func TestFatTreeStructure(t *testing.T) {
+	net := FatTree(4, OSPF)
+	topo := net.Topology
+	if topo.NumLinks() != 32 { // k³/2 = 32 for k=4
+		t.Errorf("links = %d, want 32", topo.NumLinks())
+	}
+	// Every core router has degree k (one link per pod).
+	for i := 0; i < topo.NumRouters(); i++ {
+		id := topology.RouterID(i)
+		deg := len(topo.Router(id).Links)
+		switch topo.Name(id)[0] {
+		case 'c':
+			if deg != 4 {
+				t.Errorf("core %s degree %d, want 4", topo.Name(id), deg)
+			}
+		case 'a':
+			if deg != 4 { // k/2 down + k/2 up
+				t.Errorf("agg %s degree %d, want 4", topo.Name(id), deg)
+			}
+		case 'e':
+			if deg != 2 { // k/2 up
+				t.Errorf("edge %s degree %d, want 2", topo.Name(id), deg)
+			}
+		}
+	}
+	if FatTreeArity(20) != 4 || FatTreeArity(80) != 8 || FatTreeArity(125) != 10 {
+		t.Error("FatTreeArity")
+	}
+}
+
+func TestBGPOSPFVariant(t *testing.T) {
+	net := SyntheticWAN("dual", 10, 15, BGPOSPF, 1)
+	for i := 0; i < net.Topology.NumRouters(); i++ {
+		rc := net.Router(topology.RouterID(i))
+		if rc.BGP == nil || rc.OSPF == nil {
+			t.Fatal("BGPOSPF routers must run both protocols")
+		}
+		if rc.BGP.ASN != 65000 {
+			t.Fatal("BGPOSPF is a single AS")
+		}
+	}
+}
+
+func TestCampusDeterministicPerSnapshot(t *testing.T) {
+	a := Campus(CampusOptions{VLANs: 10, Snapshot: 3})
+	b := Campus(CampusOptions{VLANs: 10, Snapshot: 3})
+	if config.Format(a) != config.Format(b) {
+		t.Error("same snapshot must be identical")
+	}
+	c := Campus(CampusOptions{VLANs: 10, Snapshot: 4})
+	if config.Format(a) == config.Format(c) {
+		t.Error("snapshots should differ")
+	}
+}
+
+func TestTransitWANValidAndPolicied(t *testing.T) {
+	net := TransitWAN(3, 4, 1)
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	policies := 0
+	for i := 0; i < net.Topology.NumRouters(); i++ {
+		rc := net.Router(topology.RouterID(i))
+		policies += len(rc.BGP.ImportPolicy) + len(rc.BGP.ExportPolicy)
+	}
+	if policies == 0 {
+		t.Fatal("transit WAN should carry Gao-Rexford policies")
+	}
+	// Connected: every AS reaches tier 0 through providers.
+	topo := net.Topology
+	for i := 1; i < topo.NumRouters(); i++ {
+		if !topo.Connected(0, topology.RouterID(i), nil) {
+			// Tier-0 peers chain them; at worst check against any
+			// tier-0 member.
+			ok := false
+			for j := 0; j < 4; j++ {
+				if topo.Connected(topology.RouterID(j), topology.RouterID(i), nil) {
+					ok = true
+				}
+			}
+			if !ok {
+				t.Fatalf("router %d unreachable from tier 0", i)
+			}
+		}
+	}
+}

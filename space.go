@@ -1,0 +1,18 @@
+package sre
+
+import (
+	"sre/internal/bdd"
+	"sre/internal/symbol"
+)
+
+// symbolSpace aliases the internal symbolic variable space so the facade
+// can size it without exporting the internal package.
+type symbolSpace = symbol.Space
+
+// newSpace allocates the symbolic space for a network: 32 destination
+// header bits, one variable per link, and one node-failure variable per
+// router (used by probabilistic analyses with node failures).
+func newSpace(net *Network, nodeLimit int) *symbolSpace {
+	return symbol.NewSpace(net.Topology.NumLinks(),
+		bdd.Config{NodeLimit: nodeLimit}, net.Topology.NumRouters())
+}

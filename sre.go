@@ -1,0 +1,397 @@
+// Package sre is a Go implementation of Symbolic Router Execution
+// (Zhang, Wang, Gember-Jacobson — SIGCOMM 2022): a general and scalable
+// network configuration verification engine that symbolically executes
+// the network control plane and data plane with BOTH packet headers and
+// link failures as symbolic inputs.
+//
+// SRE discovers Packet Failure Equivalence Classes (PFECs): classes of
+// (packet, failure-scenario) tuples that follow the same forwarding
+// path. Encoded as binary decision diagrams, PFECs reduce a wide range
+// of analyses to graph algorithms:
+//
+//   - failure tolerance — the maximum number of simultaneous link
+//     failures a property survives — is a shortest-path computation;
+//   - the probability that a property holds under independent link (and
+//     node) failures is a weighted path sum;
+//   - configuration diffing under failures is an XOR of BDDs;
+//   - specification mining enumerates tolerances for all (source,
+//     prefix) pairs with stratified pruning.
+//
+// # Quick start
+//
+//	net, err := sre.ParseNetwork(configText)
+//	v, err := sre.NewVerifier(net, sre.Options{MaxFailures: 3})
+//	k, err := v.FailureTolerance("A", "10.0.0.0/24")     // tolerance
+//	p, err := v.Probability("A", "10.0.0.0/24", sre.LinkFailures(0.001))
+//
+// The underlying stages (symbolic route computation, symbolic packet
+// forwarding, property analysis) live in internal packages; this package
+// is the supported surface.
+package sre
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"sre/internal/analysis"
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/prob"
+	"sre/internal/route"
+	"sre/internal/src"
+	"sre/internal/topology"
+)
+
+// Network is a parsed network: topology plus per-router configuration.
+type Network = config.Network
+
+// ParseNetwork parses the textual network format (see the config package
+// documentation for the grammar: a topology section followed by router
+// sections with bgp/ospf/static/interface/route-map blocks).
+func ParseNetwork(text string) (*Network, error) {
+	return config.ParseString(text)
+}
+
+// ReadNetwork parses a network from a reader.
+func ReadNetwork(r io.Reader) (*Network, error) {
+	return config.Parse(r)
+}
+
+// LoadNetwork parses a network from a file.
+func LoadNetwork(path string) (*Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return config.Parse(f)
+}
+
+// FormatNetwork renders a network back into the textual format.
+func FormatNetwork(n *Network) string { return config.Format(n) }
+
+// Options configures verification.
+type Options struct {
+	// MaxFailures bounds the failure budget explored (route pruning,
+	// §7.1 of the paper). Negative explores the full failure space.
+	// The default (0) explores only the no-failure scenario; most
+	// callers want 1-4.
+	MaxFailures int
+	// Abstract enables AS-path abstraction (§7.3), recommended for
+	// data-center fabrics with many equal-length paths.
+	Abstract bool
+	// NoECMP disables multipath route selection.
+	NoECMP bool
+	// IBGPFullMesh enables iBGP full-mesh sessions among same-AS
+	// routers that also run OSPF; sessions are modeled as virtual
+	// links conditioned on underlay reachability (§4).
+	IBGPFullMesh bool
+	// Prefixes restricts analysis to these destination prefixes
+	// (prefix pruning, §7.2). Empty means all originated prefixes.
+	Prefixes []string
+	// BDDNodeLimit caps the BDD node table (0 = the package default).
+	// When exceeded, NewVerifier returns ErrBDDLimit.
+	BDDNodeLimit int
+}
+
+// ErrBDDLimit is returned when the BDD node table overflows — the
+// "BDD limit" outcome of the paper's Table 2 and Figure 11.
+var ErrBDDLimit = bdd.ErrNodeLimit
+
+// Verifier holds the result of symbolically executing a network: the
+// PFECs, ready for property analysis.
+type Verifier struct {
+	net  *Network
+	pipe *analysis.Pipeline
+}
+
+// NewVerifier symbolically executes the network (symbolic route
+// computation, then symbolic packet forwarding) and returns a verifier
+// over the discovered PFECs.
+func NewVerifier(net *Network, opts Options) (*Verifier, error) {
+	srcOpts, sp, err := buildOpts(net, opts)
+	if err != nil {
+		return nil, err
+	}
+	pipe, err := analysis.RunWithSpace(net, sp, srcOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &Verifier{net: net, pipe: pipe}, nil
+}
+
+func buildOpts(net *Network, opts Options) (src.Options, *symbolSpace, error) {
+	srcOpts := src.Options{
+		PruneK:       opts.MaxFailures,
+		Abstract:     opts.Abstract,
+		NoECMP:       opts.NoECMP,
+		IBGPFullMesh: opts.IBGPFullMesh,
+	}
+	for _, p := range opts.Prefixes {
+		pfx, err := route.ParsePrefix(p)
+		if err != nil {
+			return src.Options{}, nil, err
+		}
+		srcOpts.Prefixes = append(srcOpts.Prefixes, pfx)
+	}
+	sp := newSpace(net, opts.BDDNodeLimit)
+	return srcOpts, sp, nil
+}
+
+// Release frees the verifier's BDD resources. The verifier must not be
+// used afterwards.
+func (v *Verifier) Release() { v.pipe.Release() }
+
+// NumPFECs returns the number of packet failure equivalence classes
+// discovered across all sources.
+func (v *Verifier) NumPFECs() int { return v.pipe.NumPFECs() }
+
+// Stages returns the wall-clock durations of the two symbolic execution
+// stages (SRC and SPF), as reported in the paper's Figure 13.
+func (v *Verifier) Stages() (srcTime, spfTime float64) {
+	return v.pipe.SRCTime.Seconds(), v.pipe.SPFTime.Seconds()
+}
+
+// InfiniteTolerance is returned when no explored failure combination
+// violates the property; with a bounded budget read it as "at least
+// MaxFailures".
+const InfiniteTolerance = analysis.InfiniteTolerance
+
+// resolve translates router name and prefix string.
+func (v *Verifier) resolve(srcRouter, prefix string) (topology.RouterID, route.Prefix, error) {
+	s, ok := v.net.Topology.RouterByName(srcRouter)
+	if !ok {
+		return 0, route.Prefix{}, fmt.Errorf("sre: unknown router %q", srcRouter)
+	}
+	pfx, err := route.ParsePrefix(prefix)
+	if err != nil {
+		return 0, route.Prefix{}, err
+	}
+	if len(v.net.OriginsOf(pfx)) == 0 {
+		return 0, route.Prefix{}, fmt.Errorf("sre: prefix %s is not originated anywhere", pfx)
+	}
+	return s, pfx, nil
+}
+
+// FailureTolerance returns the reachability failure tolerance from
+// srcRouter to the originators of prefix: the maximum k such that the
+// prefix stays reachable under every combination of at most k link
+// failures. -1 means unreachable even with all links up;
+// InfiniteTolerance means no explored combination breaks it.
+func (v *Verifier) FailureTolerance(srcRouter, prefix string) (int, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
+	return v.pipe.MinTolerance(prop, hdr), nil
+}
+
+// WaypointTolerance is FailureTolerance for the property "reaches the
+// prefix AND traverses waypoint".
+func (v *Verifier) WaypointTolerance(srcRouter, prefix, waypoint string) (int, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	w, ok := v.net.Topology.RouterByName(waypoint)
+	if !ok {
+		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	prop := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
+	return v.pipe.MinTolerance(prop, hdr), nil
+}
+
+// WaypointOnlyTolerance returns the failure tolerance of the property
+// "no packet for the prefix from srcRouter reaches its originators
+// WITHOUT traversing waypoint": the maximum k such that no combination
+// of at most k failures lets traffic bypass the waypoint. This is the
+// conditional-waypointing contract of the paper's §6.5 scenario —
+// deleting C's ACL leaves the plain waypoint tolerance unchanged but
+// drops the bypass tolerance from infinite to 0.
+func (v *Verifier) WaypointOnlyTolerance(srcRouter, prefix, waypoint string) (int, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	w, ok := v.net.Topology.RouterByName(waypoint)
+	if !ok {
+		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	reach := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
+	via := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
+	bypass := v.pipe.Sp.M.Diff(reach, via)
+	// Bypass must never become possible: same reduction as isolation.
+	return v.pipe.IsolationTolerance(bypass, hdr), nil
+}
+
+// IsolationTolerance returns the failure tolerance of the property
+// "packets for prefix from srcRouter NEVER reach its originators":
+// the maximum k such that no combination of at most k failures deflects
+// traffic to the destination.
+func (v *Verifier) IsolationTolerance(srcRouter, prefix string) (int, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
+	return v.pipe.IsolationTolerance(prop, hdr), nil
+}
+
+// LoadBalancedPaths returns the number of forwarding paths that carry
+// traffic from srcRouter to the prefix simultaneously when all links are
+// up (the paper's Loadbalance property holds for n ≤ this count).
+func (v *Verifier) LoadBalancedPaths(srcRouter, prefix string) (int, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	return v.pipe.LoadBalancePaths(s, v.pipe.OriginSet(pfx), v.pipe.OwnedHeaders(pfx)), nil
+}
+
+// FailureModel is a probabilistic failure model for Probability queries.
+type FailureModel struct {
+	linkDown float64
+	nodeDown float64
+	nodes    bool
+}
+
+// LinkFailures models independent link failures with the given
+// probability of any link being down.
+func LinkFailures(pDown float64) FailureModel {
+	return FailureModel{linkDown: pDown}
+}
+
+// NodeAndLinkFailures models independent node failures layered over
+// link failures: a link is effectively down when it or either endpoint
+// node is down (§6.4).
+func NodeAndLinkFailures(pLinkDown, pNodeDown float64) FailureModel {
+	return FailureModel{linkDown: pLinkDown, nodeDown: pNodeDown, nodes: true}
+}
+
+// Probability returns the probability that packets for the prefix from
+// srcRouter reach its originators under the failure model. When the
+// verifier was built with a bounded MaxFailures budget, the result is a
+// lower bound whose error is below the binomial tail P(more than
+// MaxFailures failures) (§7.1).
+func (v *Verifier) Probability(srcRouter, prefix string, model FailureModel) (float64, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
+	if model.nodes {
+		results := v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})
+		return minProb(results), nil
+	}
+	results := v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})
+	return minProb(results), nil
+}
+
+// WaypointProbability is Probability for the waypoint property.
+func (v *Verifier) WaypointProbability(srcRouter, prefix, waypoint string, model FailureModel) (float64, error) {
+	s, pfx, err := v.resolve(srcRouter, prefix)
+	if err != nil {
+		return 0, err
+	}
+	w, ok := v.net.Topology.RouterByName(waypoint)
+	if !ok {
+		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
+	}
+	hdr := v.pipe.OwnedHeaders(pfx)
+	prop := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
+	if model.nodes {
+		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})), nil
+	}
+	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})), nil
+}
+
+func minProb(results []analysis.ProbabilityResult) float64 {
+	min := 1.0
+	if len(results) == 0 {
+		return 0
+	}
+	for _, r := range results {
+		if r.P < min {
+			min = r.P
+		}
+	}
+	return min
+}
+
+// RequiredBudget returns the minimum failure budget k such that ignoring
+// scenarios with more than k simultaneous link failures loses at most
+// imprecision of probability mass, for the network's link count and the
+// model's link failure probability (§7.1). Pass the result as
+// Options.MaxFailures for probabilistic analyses.
+func RequiredBudget(net *Network, model FailureModel, imprecision float64) int {
+	return prob.KForImprecision(net.Topology.NumLinks(), model.linkDown, imprecision)
+}
+
+// Specs is the result of specification mining.
+type Specs = analysis.Specs
+
+// PairKey identifies a (source router, destination prefix) property.
+type PairKey = analysis.PairKey
+
+// MineSpecs mines reachability tolerances (plus isolation, waypoint and
+// load-balancing specs) for every (source, prefix) pair, exploring up to
+// maxFailures simultaneous failures with the paper's stratified
+// route/prefix pruning.
+func MineSpecs(net *Network, maxFailures int, opts Options) (*Specs, error) {
+	mn := &analysis.Miner{Net: net, KMax: maxFailures,
+		SrcOpts: src.Options{Abstract: opts.Abstract, NoECMP: opts.NoECMP}}
+	return mn.Mine()
+}
+
+// Difference reports one behavioural difference found by Diff.
+type Difference struct {
+	Src            string
+	Prefix         string
+	FailuresOnly   bool // invisible with all links up (DNA-invisible)
+	WitnessDown    []string
+	ToleranceDelta [2]int
+	ProbDelta      [2]float64
+}
+
+// Diff compares two configurations over the product space of packets
+// and failures (up to maxFailures), returning the (source, prefix)
+// reachability differences, each with a concrete failure-scenario
+// witness and before/after tolerance and probability.
+func Diff(before, after *Network, maxFailures int, model FailureModel) ([]Difference, error) {
+	pb, err := analysis.Run(before, src.Options{PruneK: maxFailures})
+	if err != nil {
+		return nil, err
+	}
+	defer pb.Release()
+	pa, err := analysis.Run(after, src.Options{PruneK: maxFailures})
+	if err != nil {
+		return nil, err
+	}
+	defer pa.Release()
+	lm := prob.LinkModel{PDown: model.linkDown}
+	raw := analysis.DiffReachability(pb, pa, &lm)
+	out := make([]Difference, 0, len(raw))
+	for _, d := range raw {
+		diff := Difference{
+			Src:            after.Topology.Name(d.Src),
+			Prefix:         d.Prefix.String(),
+			FailuresOnly:   !d.ChangedUnderNoFailures(pa),
+			ToleranceDelta: [2]int{d.ToleranceBefore, d.ToleranceAfter},
+			ProbDelta:      [2]float64{d.ProbBefore, d.ProbAfter},
+		}
+		for _, l := range d.WitnessDownLinks {
+			link := after.Topology.Link(l)
+			diff.WitnessDown = append(diff.WitnessDown,
+				after.Topology.Name(link.A)+"~"+after.Topology.Name(link.B))
+		}
+		out = append(out, diff)
+	}
+	return out, nil
+}

@@ -1,0 +1,263 @@
+package sre_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sre"
+)
+
+const figure1 = `
+topology
+  router A
+  router B
+  router C
+  link A B
+  link B C
+  link A C
+end
+router A
+  bgp 65001
+end
+router B
+  bgp 65002
+end
+router C
+  bgp 65003
+    network 128.0.0.0/1
+    network 192.0.0.0/2
+    neighbor A export-map NO192
+  route-map NO192
+    10 deny prefix 192.0.0.0/2
+    20 permit any
+  interface A
+    acl-in deny 192.0.0.0/2
+    acl-in permit any
+end
+`
+
+func verifier(t *testing.T, opts sre.Options) *sre.Verifier {
+	t.Helper()
+	net, err := sre.ParseNetwork(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sre.NewVerifier(net, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestPublicFailureTolerance(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: -1})
+	defer v.Release()
+	k, err := v.FailureTolerance("A", "128.0.0.0/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The query covers the headers OWNED by 128/1 — excluding the
+	// more-specific 192/2, which forwards along its own prefix. Both
+	// disjoint paths serve 128/2: tolerance 1 (the paper's Figure 4).
+	if k != 1 {
+		t.Errorf("tolerance(A,128/1 owned space) = %d, want 1", k)
+	}
+	k, err = v.FailureTolerance("A", "192.0.0.0/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("tolerance(A,192/2) = %d, want 0", k)
+	}
+}
+
+func TestPublicProbability(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: -1})
+	defer v.Release()
+	p, err := v.Probability("A", "192.0.0.0/2", sre.LinkFailures(0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-0.81) > 1e-12 {
+		t.Errorf("probability = %v, want 0.81", p)
+	}
+	pn, err := v.Probability("A", "192.0.0.0/2", sre.NodeAndLinkFailures(0.1, 0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pn >= p {
+		t.Errorf("adding node failures should lower the probability: %v >= %v", pn, p)
+	}
+}
+
+func TestPublicWaypoint(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: -1})
+	defer v.Release()
+	k, err := v.WaypointTolerance("A", "192.0.0.0/2", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 0 {
+		t.Errorf("waypoint tolerance = %d, want 0", k)
+	}
+	k, err = v.WaypointTolerance("A", "128.0.0.0/1", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != -1 {
+		t.Errorf("waypoint tolerance for 128/1 via B = %d, want -1 (direct path skips B)", k)
+	}
+}
+
+func TestPublicErrors(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: 1})
+	defer v.Release()
+	if _, err := v.FailureTolerance("Z", "128.0.0.0/1"); err == nil || !strings.Contains(err.Error(), "unknown router") {
+		t.Errorf("want unknown-router error, got %v", err)
+	}
+	if _, err := v.FailureTolerance("A", "not-a-prefix"); err == nil {
+		t.Error("want parse error")
+	}
+	if _, err := v.FailureTolerance("A", "9.9.9.0/24"); err == nil || !strings.Contains(err.Error(), "not originated") {
+		t.Errorf("want not-originated error, got %v", err)
+	}
+}
+
+func TestPublicMineSpecs(t *testing.T) {
+	net, err := sre.ParseNetwork(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	specs, err := sre.MineSpecs(net, 2, sre.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(specs.ReachTolerance) == 0 {
+		t.Fatal("no specs mined")
+	}
+}
+
+func TestPublicDiff(t *testing.T) {
+	before, err := sre.ParseNetwork(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := before.Clone()
+	c := after.Topology.MustRouter("C")
+	a := after.Topology.MustRouter("A")
+	ac, _ := after.Topology.LinkBetween(a, c)
+	after.Router(c).Interfaces[ac].ACLIn = nil
+	diffs, err := sre.Diff(before, after, 3, sre.LinkFailures(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range diffs {
+		if d.Src == "A" && d.Prefix == "192.0.0.0/2" {
+			found = true
+			if !d.FailuresOnly {
+				t.Error("the ACL deletion should be invisible under no failures")
+			}
+			if d.ToleranceDelta != [2]int{0, 1} {
+				t.Errorf("tolerance delta %v, want {0,1}", d.ToleranceDelta)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("expected difference for (A, 192.0.0.0/2)")
+	}
+}
+
+func TestPublicStagesAndPFECs(t *testing.T) {
+	v := verifier(t, sre.Options{MaxFailures: -1})
+	defer v.Release()
+	srcT, spfT := v.Stages()
+	if srcT <= 0 || spfT <= 0 {
+		t.Error("stage timings must be positive")
+	}
+	if v.NumPFECs() == 0 {
+		t.Error("expected PFECs")
+	}
+}
+
+func TestRequiredBudget(t *testing.T) {
+	net, err := sre.ParseNetwork(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sre.RequiredBudget(net, sre.LinkFailures(0.001), 1e-4)
+	if k < 1 || k > 3 {
+		t.Errorf("budget %d out of expected range for 3 links @0.001", k)
+	}
+	// Round trip of the network format.
+	text := sre.FormatNetwork(net)
+	if _, err := sre.ParseNetwork(text); err != nil {
+		t.Fatalf("round trip: %v", err)
+	}
+}
+
+func TestPublicNodeLimit(t *testing.T) {
+	net, err := sre.ParseNetwork(figure1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sre.NewVerifier(net, sre.Options{MaxFailures: -1, BDDNodeLimit: 8})
+	if err == nil {
+		t.Fatal("expected BDD limit error")
+	}
+}
+
+func TestPublicLoadBalance(t *testing.T) {
+	net, err := sre.ParseNetwork(`
+topology
+  router A
+  router B
+  router C
+  router D
+  link A B
+  link A C
+  link B D
+  link C D
+end
+router A
+  ospf
+  exit
+end
+router B
+  ospf
+  exit
+end
+router C
+  ospf
+  exit
+end
+router D
+  ospf
+    network 10.0.0.0/24
+  exit
+end
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sre.NewVerifier(net, sre.Options{MaxFailures: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	n, err := v.LoadBalancedPaths("A", "10.0.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Errorf("load-balanced paths = %d, want 2", n)
+	}
+	iso, err := v.IsolationTolerance("A", "10.0.0.0/24")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iso != -1 {
+		t.Errorf("isolation tolerance = %d, want -1 (reachable under no failures)", iso)
+	}
+}
