@@ -16,6 +16,11 @@
 //	sre -config net.txt -reqs reqs.txt check      # verify a requirements file
 //
 // Global flags: -k (failure budget, default 3), -abstract, -noecmp.
+// Observability flags: -metrics <file> writes a JSON metrics report,
+// -progress prints live progress lines to stderr, -pprof <addr> serves
+// net/http/pprof. Flags may appear before or after the command. A
+// one-line summary (stage timings, peak BDD nodes) always prints to
+// stderr after the command.
 // The check command exits non-zero when any requirement fails, so it
 // slots into CI pipelines that gate configuration changes.
 package main
@@ -23,41 +28,88 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
+	"time"
 
 	"sre"
+	"sre/internal/obs"
 )
 
 var (
-	configPath = flag.String("config", "", "network description file (required)")
-	afterPath  = flag.String("after", "", "changed network file (diff command)")
-	reqsPath   = flag.String("reqs", "", "requirements file (check command)")
-	kFlag      = flag.Int("k", 3, "failure budget: explore up to k simultaneous link failures (-1 = all)")
-	abstract   = flag.Bool("abstract", false, "enable AS-path abstraction (§7.3)")
-	noECMP     = flag.Bool("noecmp", false, "disable multipath route selection")
-	pLink      = flag.Float64("plink", 0.001, "link failure probability (probability command)")
-	pNode      = flag.Float64("pnode", 0, "node failure probability (probability command; 0 = links only)")
+	configPath  = flag.String("config", "", "network description file (required)")
+	afterPath   = flag.String("after", "", "changed network file (diff command)")
+	reqsPath    = flag.String("reqs", "", "requirements file (check command)")
+	kFlag       = flag.Int("k", 3, "failure budget: explore up to k simultaneous link failures (-1 = all)")
+	abstract    = flag.Bool("abstract", false, "enable AS-path abstraction (§7.3)")
+	noECMP      = flag.Bool("noecmp", false, "disable multipath route selection")
+	pLink       = flag.Float64("plink", 0.001, "link failure probability (probability command)")
+	pNode       = flag.Float64("pnode", 0, "node failure probability (probability command; 0 = links only)")
+	metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
+	progress    = flag.Bool("progress", false, "print live progress lines to stderr")
+	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sre -config <file> <command> [args]")
-	fmt.Fprintln(os.Stderr, "commands: tolerance, waypoint, isolation, probability, loadbalance, mine, diff, pfecs")
+	fmt.Fprintln(os.Stderr, "commands: tolerance, waypoint, isolation, probability, loadbalance, mine, diff, pfecs, check")
 	os.Exit(2)
+}
+
+// parseCommandArgs re-parses flags that appear after the command name
+// (e.g. "sre -metrics out.json check -config net.txt" or
+// "sre -config net.txt probability A 10.0.0.0/8 -plink 0.01") and
+// returns the positional arguments.
+func parseCommandArgs(args []string) []string {
+	var pos []string
+	for len(args) > 0 {
+		if err := flag.CommandLine.Parse(args); err != nil {
+			fatal(err)
+		}
+		args = flag.CommandLine.Args()
+		if len(args) == 0 {
+			break
+		}
+		pos = append(pos, args[0])
+		args = args[1:]
+	}
+	return pos
 }
 
 func main() {
 	flag.Parse()
 	args := flag.Args()
-	if *configPath == "" || len(args) == 0 {
+	if len(args) == 0 {
 		usage()
+	}
+	cmd := args[0]
+	rest := parseCommandArgs(args[1:])
+	if *configPath == "" {
+		usage()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "sre: pprof:", err)
+			}
+		}()
 	}
 	net, err := sre.LoadNetwork(*configPath)
 	if err != nil {
 		fatal(err)
 	}
-	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP}
-	cmd, rest := args[0], args[1:]
+	tel := sre.NewTelemetry()
+	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
+		Telemetry: tel}
+	if *progress {
+		opts.Progress = sre.StderrProgress()
+	}
+	start := time.Now()
+	exitCode := 0
+	var v *sre.Verifier
+
 	switch cmd {
 	case "mine":
 		specs, err := sre.MineSpecs(net, *kFlag, opts)
@@ -65,7 +117,6 @@ func main() {
 			fatal(err)
 		}
 		printSpecs(net, specs, *kFlag)
-		return
 	case "diff":
 		if *afterPath == "" {
 			fatal(fmt.Errorf("diff needs -after <file>"))
@@ -74,19 +125,26 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		diffs, err := sre.Diff(net, after, *kFlag, sre.LinkFailures(*pLink))
+		diffs, err := sre.Diff(net, after, *kFlag, sre.LinkFailures(*pLink), opts)
 		if err != nil {
 			fatal(err)
 		}
 		printDiffs(diffs)
-		return
+	default:
+		v, err = sre.NewVerifier(net, opts)
+		if err != nil {
+			fatal(err)
+		}
+		defer v.Release()
+		exitCode = runQuery(v, cmd, rest)
 	}
+	finish(v, tel, start)
+	os.Exit(exitCode)
+}
 
-	v, err := sre.NewVerifier(net, opts)
-	if err != nil {
-		fatal(err)
-	}
-	defer v.Release()
+// runQuery executes a verifier-backed command and returns the process
+// exit code.
+func runQuery(v *sre.Verifier, cmd string, rest []string) int {
 	switch cmd {
 	case "check":
 		if *reqsPath == "" {
@@ -114,7 +172,7 @@ func main() {
 			fmt.Printf("%s line %-3d %-12s %s %s: %s\n", status, r.Req.Line, r.Req.Kind, r.Req.Src, r.Req.Prefix, detail)
 		}
 		if !all {
-			os.Exit(1)
+			return 1
 		}
 	case "pfecs":
 		srcT, spfT := v.Stages()
@@ -160,6 +218,43 @@ func main() {
 		fmt.Println(n)
 	default:
 		usage()
+	}
+	return 0
+}
+
+// finish prints the one-line run summary to stderr and writes the JSON
+// metrics report when -metrics was given. It runs for every command,
+// including failing check runs.
+func finish(v *sre.Verifier, tel *sre.Telemetry, start time.Time) {
+	if v != nil {
+		m := v.Metrics()
+		fmt.Fprintf(os.Stderr,
+			"summary: src %.3fs, spf %.3fs, %s PFECs, bdd peak %s nodes, cache hit %s, gc %d\n",
+			m.SRCSeconds, m.SPFSeconds, obs.HumanCount(int64(m.NumPFECs)),
+			obs.HumanCount(int64(m.BDD.PeakNodes)),
+			obs.HumanPct(m.BDD.CacheHitRatio, 1), m.BDD.GCRuns)
+	} else {
+		rep := tel.Snapshot()
+		fmt.Fprintf(os.Stderr, "summary: total %.3fs, bdd peak %s nodes, gc %s\n",
+			time.Since(start).Seconds(),
+			obs.HumanCount(int64(rep.Gauges["bdd.peak_nodes"])),
+			obs.HumanCount(rep.Counters["bdd.gc_runs"]))
+	}
+	if *metricsPath == "" {
+		return
+	}
+	f, err := os.Create(*metricsPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	if v != nil {
+		err = v.WriteMetrics(f)
+	} else {
+		err = tel.WriteJSON(f)
+	}
+	if err != nil {
+		fatal(err)
 	}
 }
 

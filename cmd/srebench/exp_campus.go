@@ -47,6 +47,15 @@ func fig13(sc scale) {
 		srcTimes = append(srcTimes, pipe.SRCTime)
 		spfTimes = append(spfTimes, pipe.SPFTime)
 		fpaTimes = append(fpaTimes, fpa)
+		st := pipe.Sp.M.Statistics()
+		ds := fmt.Sprintf("campus-snap%d", snap)
+		record(benchRow{Experiment: "fig13", Dataset: ds, System: "src", K: 2,
+			Seconds: pipe.SRCTime.Seconds(), PeakBDDNodes: st.PeakNodes,
+			CacheHitRatio: st.CacheHitRatio(), GCRuns: st.GCRuns, Outcome: "ok"})
+		record(benchRow{Experiment: "fig13", Dataset: ds, System: "spf", K: 2,
+			Seconds: pipe.SPFTime.Seconds(), Outcome: "ok"})
+		record(benchRow{Experiment: "fig13", Dataset: ds, System: "fpa", K: 2,
+			Seconds: fpa.Seconds(), Outcome: "ok"})
 		pipe.Release()
 	}
 	t := newTable("stage", "min", "median", "max")

@@ -173,30 +173,36 @@ func fig11(sc scale) {
 		net := workload.FatTree(arity, workload.BGP)
 		name := fmt.Sprintf("%d", workload.FatTreeNodes(arity))
 		for k := 0; k <= sc.maxK; k++ {
-			var peak int
+			var st bdd.Stats
 			var errOut error
-			cell := ct.run("ft"+name, func() {
+			cell, dur := ct.runTimed("ft"+name, func() {
 				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
 				pipe, err := analysis.RunWithSpace(net, sp, src.Options{PruneK: k, Abstract: true})
 				if err != nil {
 					errOut = err
-					peak = sp.M.Statistics().PeakNodes
+					st = sp.M.Statistics()
 					return
 				}
 				pipe.AllPairsReachable(k)
-				peak = sp.M.Statistics().PeakNodes
+				st = sp.M.Statistics()
 				pipe.Release()
 			})
 			var ms runtime.MemStats
 			runtime.ReadMemStats(&ms)
 			status := cell
+			outcome := "ok"
 			if errors.Is(errOut, bdd.ErrNodeLimit) {
-				status = "BDD limit"
+				status, outcome = "BDD limit", "bdd-limit"
 			} else if errOut != nil {
-				status = "error"
+				status, outcome = "error", "error"
+			} else if cell == "—" {
+				outcome = "skipped"
 			}
 			t.add(name, fmt.Sprint(net.Topology.NumLinks()), fmt.Sprint(k), status,
-				fmt.Sprint(peak), fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)))
+				fmt.Sprint(st.PeakNodes), fmt.Sprintf("%.0f", float64(ms.HeapAlloc)/(1<<20)))
+			record(benchRow{Experiment: "fig11", Dataset: "fattree-" + name, K: k,
+				Seconds: dur.Seconds(), PeakBDDNodes: st.PeakNodes,
+				CacheHitRatio: st.CacheHitRatio(), GCRuns: st.GCRuns, Outcome: outcome})
 			if cell == "—" {
 				break
 			}

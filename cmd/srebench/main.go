@@ -16,19 +16,66 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 )
 
 var (
-	expFlag   = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, all)")
-	scaleFlag = flag.String("scale", "small", "workload scale: small (CI-friendly) or paper (full sizes; hours)")
-	budget    = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
-	seedFlag  = flag.Int64("seed", 1, "base seed for randomized selections")
+	expFlag    = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, all)")
+	scaleFlag  = flag.String("scale", "small", "workload scale: small (CI-friendly) or paper (full sizes; hours)")
+	budget     = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
+	seedFlag   = flag.Int64("seed", 1, "base seed for randomized selections")
+	metricsDir = flag.String("metricsdir", "", "write BENCH_<exp>.json files with per-cell metrics into this directory")
 )
+
+// benchRow is one measured cell of an experiment, written to
+// BENCH_<exp>.json when -metricsdir is given.
+type benchRow struct {
+	Experiment    string  `json:"experiment"`
+	Dataset       string  `json:"dataset"`
+	System        string  `json:"system,omitempty"`
+	K             int     `json:"k"`
+	Seconds       float64 `json:"seconds"`
+	PeakBDDNodes  int     `json:"peak_bdd_nodes,omitempty"`
+	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
+	GCRuns        int     `json:"gc_runs,omitempty"`
+	Outcome       string  `json:"outcome"` // ok, bdd-limit, error, skipped
+}
+
+var benchRows []benchRow
+
+// record collects a measurement; a no-op unless -metricsdir is set.
+func record(r benchRow) {
+	if *metricsDir != "" {
+		benchRows = append(benchRows, r)
+	}
+}
+
+// flushBench writes and clears the collected rows of one experiment.
+func flushBench(exp string) {
+	rows := benchRows
+	benchRows = nil
+	if *metricsDir == "" || len(rows) == 0 {
+		return
+	}
+	path := filepath.Join(*metricsDir, "BENCH_"+exp+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "srebench:", err)
+		return
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rows); err != nil {
+		fmt.Fprintln(os.Stderr, "srebench:", err)
+	}
+}
 
 // scale holds the workload sizes per -scale setting.
 type scale struct {
@@ -71,6 +118,7 @@ func main() {
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name](sc)
+			flushBench(name)
 		}
 		return
 	}
@@ -80,6 +128,7 @@ func main() {
 		os.Exit(2)
 	}
 	f(sc)
+	flushBench(*expFlag)
 }
 
 // header prints an experiment banner.
@@ -143,8 +192,15 @@ func newCellTimer() *cellTimer { return &cellTimer{blown: make(map[string]bool)}
 // run executes f unless the system already blew its budget; it returns
 // the formatted duration or a skip marker.
 func (ct *cellTimer) run(system string, f func()) string {
+	cell, _ := ct.runTimed(system, f)
+	return cell
+}
+
+// runTimed is run exposing the raw duration (zero when skipped), for
+// callers that also record machine-readable metrics.
+func (ct *cellTimer) runTimed(system string, f func()) (string, time.Duration) {
 	if ct.blown[system] {
-		return "—"
+		return "—", 0
 	}
 	start := time.Now()
 	f()
@@ -152,7 +208,7 @@ func (ct *cellTimer) run(system string, f func()) string {
 	if d > *budget {
 		ct.blown[system] = true
 	}
-	return fmtDur(d)
+	return fmtDur(d), d
 }
 
 func fmtDur(d time.Duration) string {

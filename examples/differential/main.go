@@ -64,14 +64,14 @@ func main() {
 	fmt.Println("proposed change: delete the inbound ACL for 192.0.0.0/2 on C's port to A")
 
 	// A no-failure diff (what DNA-style tools compute) sees nothing.
-	shallow, err := sre.Diff(netBefore, netAfter, 0, sre.LinkFailures(0.001))
+	shallow, err := sre.Diff(netBefore, netAfter, 0, sre.LinkFailures(0.001), sre.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("\nno-failure diff: %d differences found\n", len(shallow))
 
 	// The full product-space diff exposes the regression.
-	deep, err := sre.Diff(netBefore, netAfter, 3, sre.LinkFailures(0.001))
+	deep, err := sre.Diff(netBefore, netAfter, 3, sre.LinkFailures(0.001), sre.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

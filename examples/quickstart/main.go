@@ -104,7 +104,7 @@ func main() {
 	ac, _ := after.Topology.LinkBetween(a, c)
 	after.Router(c).Interfaces[ac].ACLIn = nil
 
-	diffs, err := sre.Diff(net, after, 3, sre.LinkFailures(0.001))
+	diffs, err := sre.Diff(net, after, 3, sre.LinkFailures(0.001), sre.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

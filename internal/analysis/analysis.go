@@ -14,6 +14,7 @@ import (
 
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/obs"
 	"sre/internal/prob"
 	"sre/internal/route"
 	"sre/internal/spf"
@@ -41,6 +42,10 @@ type Pipeline struct {
 
 	SRCTime time.Duration
 	SPFTime time.Duration
+
+	// Tel is the telemetry the pipeline ran with (nil when disabled),
+	// taken from the engine options.
+	Tel *obs.Telemetry
 }
 
 // MaxRiskGroups is the number of shared-risk-group variables reserved
@@ -52,37 +57,81 @@ const MaxRiskGroups = 32
 // router (node-failure analyses) plus MaxRiskGroups shared-risk
 // variables.
 func Run(net *config.Network, opts src.Options) (*Pipeline, error) {
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{},
+	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{Telemetry: opts.Telemetry},
 		net.Topology.NumRouters()+MaxRiskGroups)
 	return RunWithSpace(net, sp, opts)
 }
 
 // RunWithSpace is Run with a caller-provided symbolic space.
 func RunWithSpace(net *config.Network, sp *symbol.Space, opts src.Options) (*Pipeline, error) {
-	p := &Pipeline{Net: net, Sp: sp}
+	p := &Pipeline{Net: net, Sp: sp, Tel: opts.Telemetry}
+	root := p.Tel.Start("pipeline")
+	defer root.End()
+
+	srcSpan := root.Start("src")
 	start := time.Now()
 	p.Eng = src.NewWithSpace(net, sp, opts)
 	if err := p.Eng.Run(); err != nil {
 		return nil, err
 	}
 	p.SRCTime = time.Since(start)
+	if est := p.Eng.Statistics(); p.Tel != nil {
+		srcSpan.SetAttr("activations", est.Activations)
+		srcSpan.SetAttr("routes_imported", est.RoutesImported)
+		srcSpan.SetAttr("routes_pruned", est.RoutesPruned)
+		srcSpan.SetAttr("rib_routes", est.RIBRoutes)
+	}
+	srcSpan.End()
+
+	spfSpan := root.Start("spf")
 	start = time.Now()
 	fw, err := spf.NewForwarder(p.Eng)
 	if err != nil {
 		return nil, err
 	}
 	p.Fw = fw
-	p.pfecs = make([][]*spf.PFEC, net.Topology.NumRouters())
-	for r := 0; r < net.Topology.NumRouters(); r++ {
+	n := net.Topology.NumRouters()
+	p.pfecs = make([][]*spf.PFEC, n)
+	total := 0
+	for r := 0; r < n; r++ {
 		pf, err := fw.Forward(topology.RouterID(r))
 		if err != nil {
 			return nil, err
 		}
 		p.pfecs[r] = pf
+		total += len(pf)
 		sp.M.MaybeGC(0)
+		if p.Tel.Active() {
+			p.emitSPFProgress(r+1, n, total, r+1 == n)
+		}
 	}
 	p.SPFTime = time.Since(start)
+	if p.Tel != nil {
+		spfSpan.SetAttr("routers", n)
+		spfSpan.SetAttr("pfecs", total)
+		sp.M.SampleTelemetry()
+	}
+	spfSpan.End()
 	return p, nil
+}
+
+// emitSPFProgress publishes one per-router SPF progress line, e.g.
+// "spf: 412/1280 routers, 18.2k PFECs, bdd 1.4M nodes (peak 2.1M),
+// cache hit 93%". Callers guard with Tel.Active().
+func (p *Pipeline) emitSPFProgress(done, totalRouters, pfecs int, final bool) {
+	st := p.Sp.M.Statistics()
+	p.Sp.M.SampleTelemetry()
+	p.Tel.Emit(obs.Event{
+		Stage: "spf",
+		Done:  int64(done),
+		Total: int64(totalRouters),
+		Unit:  "routers",
+		Detail: fmt.Sprintf("%s PFECs, bdd %s nodes (peak %s), cache hit %s",
+			obs.HumanCount(int64(pfecs)),
+			obs.HumanCount(int64(st.LiveNodes)), obs.HumanCount(int64(st.PeakNodes)),
+			obs.HumanPct(float64(st.CacheHits), float64(st.CacheHits+st.CacheMiss))),
+		Final: final,
+	})
 }
 
 // PFECs returns the equivalence classes discovered from source router s.

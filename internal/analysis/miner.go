@@ -7,6 +7,7 @@ import (
 
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/obs"
 	"sre/internal/route"
 	"sre/internal/src"
 	"sre/internal/topology"
@@ -68,6 +69,11 @@ type Specs struct {
 
 // Mine runs the stratified mining loop.
 func (mn *Miner) Mine() (*Specs, error) {
+	tel := mn.SrcOpts.Telemetry
+	telStrata := tel.Counter("mine.strata")
+	telDecided := tel.Counter("mine.pairs_decided")
+	mineSpan := tel.Start("mine")
+	defer mineSpan.End()
 	t := mn.Net.Topology
 	specs := &Specs{
 		ReachTolerance:    make(map[PairKey]int),
@@ -106,6 +112,8 @@ func (mn *Miner) Mine() (*Specs, error) {
 	var isolationCandidates []PairKey
 	for k := 0; k <= mn.KMax; k++ {
 		start := time.Now()
+		telStrata.Inc()
+		stratumSpan := mineSpan.Start(fmt.Sprintf("stratum-%d", k))
 		if !mn.DisablePrefixPruning {
 			for key := range undecided {
 				if minCut[key] <= k {
@@ -114,6 +122,7 @@ func (mn *Miner) Mine() (*Specs, error) {
 						specs.WaypointTolerance[key] = minCut[key] - 1
 					}
 					delete(undecided, key)
+					telDecided.Inc()
 				}
 			}
 		}
@@ -123,8 +132,12 @@ func (mn *Miner) Mine() (*Specs, error) {
 		}
 		if len(prefixSet) == 0 {
 			mn.StrataTimes = append(mn.StrataTimes, time.Since(start))
+			stratumSpan.End()
 			break
 		}
+		stratumSpan.SetAttr("k", k)
+		stratumSpan.SetAttr("pairs", len(undecided))
+		stratumSpan.SetAttr("prefixes", len(prefixSet))
 		opts := mn.SrcOpts
 		opts.PruneK = k
 		if !mn.DisablePrefixPruning {
@@ -132,11 +145,20 @@ func (mn *Miner) Mine() (*Specs, error) {
 		}
 		pipe, err := Run(mn.Net, opts)
 		if err != nil {
+			stratumSpan.End()
 			return nil, fmt.Errorf("stratum %d: %w", k, err)
 		}
 		budget := pipe.Sp.AtMostKLinkFailures(k)
 		m := pipe.Sp.M
+		pairTotal := len(undecided)
+		pairDone := 0
 		for key := range undecided {
+			pairDone++
+			if tel.Active() {
+				tel.Emit(obs.Event{Stage: "mine",
+					Done: int64(pairDone), Total: int64(pairTotal), Unit: "pairs",
+					Detail: fmt.Sprintf("stratum %d", k), Final: pairDone == pairTotal})
+			}
 			hdr := pipe.OwnedHeaders(key.Prefix)
 			dst := pipe.OriginSet(key.Prefix)
 			prop := pipe.ReachBDD(key.Src, dst, hdr)
@@ -156,6 +178,7 @@ func (mn *Miner) Mine() (*Specs, error) {
 			if violated {
 				specs.ReachTolerance[key] = k - 1
 				delete(undecided, key)
+				telDecided.Inc()
 				if prop == bdd.False {
 					isolationCandidates = append(isolationCandidates, key)
 				}
@@ -167,10 +190,12 @@ func (mn *Miner) Mine() (*Specs, error) {
 		}
 		pipe.Release()
 		mn.StrataTimes = append(mn.StrataTimes, time.Since(start))
+		stratumSpan.End()
 	}
 	// Pairs surviving every stratum tolerate at least KMax failures.
 	for key := range undecided {
 		specs.ReachTolerance[key] = InfiniteTolerance
+		telDecided.Inc()
 		if mn.Waypoint != nil {
 			if _, done := specs.WaypointTolerance[key]; !done {
 				specs.WaypointTolerance[key] = InfiniteTolerance

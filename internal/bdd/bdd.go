@@ -16,6 +16,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"sre/internal/obs"
 )
 
 // Node is a handle to a BDD node owned by a Manager. The terminals are
@@ -56,6 +58,12 @@ type Config struct {
 	// DisableGC turns off automatic garbage collection. Explicit calls
 	// to GC still work.
 	DisableGC bool
+	// Telemetry, when non-nil, receives manager counters (GC runs and
+	// freed nodes, node-limit hits, cache hit/miss deltas) and
+	// occupancy gauges, sampled at every collection and at explicit
+	// SampleTelemetry calls. Counters accumulate across managers
+	// sharing one registry (the miner creates one manager per stratum).
+	Telemetry *obs.Telemetry
 }
 
 // Default sizing constants.
@@ -90,6 +98,21 @@ type Manager struct {
 	cache     []cacheEntry
 	cacheMask uint32
 	stats     Stats
+
+	// Telemetry handles, all nil when telemetry is disabled (every
+	// obs method is a no-op on a nil handle, so call sites stay
+	// unconditional on cold paths).
+	tel          *obs.Telemetry
+	telGCRuns    *obs.Counter
+	telGCFreed   *obs.Counter
+	telLimitHits *obs.Counter
+	telCacheHit  *obs.Counter
+	telCacheMiss *obs.Counter
+	telLive      *obs.Gauge
+	telPeak      *obs.Gauge
+	telFree      *obs.Gauge
+	// Last sampled cumulative values, so counter deltas stay monotone.
+	sampledHits, sampledMiss uint64
 }
 
 type cacheEntry struct {
@@ -101,12 +124,28 @@ type cacheEntry struct {
 // Stats reports manager counters, used by the scalability experiments
 // (Figure 11 reports peak node counts as a memory proxy).
 type Stats struct {
-	LiveNodes  int // nodes reachable from referenced roots (approximate: allocated - freed)
+	// LiveNodes is the number of allocated node slots minus the free
+	// list: live nodes plus garbage not yet collected. GC reduces it;
+	// it never exceeds PeakNodes.
+	LiveNodes int
+	// FreeNodes is the current length of the free list (collected
+	// slots awaiting reuse).
+	FreeNodes  int
 	PeakNodes  int // maximum allocated slots ever
 	GCRuns     int
 	CacheHits  uint64
 	CacheMiss  uint64
 	UniqueHits uint64
+}
+
+// CacheHitRatio returns hits/(hits+misses) of the operation cache, or 0
+// before any operation ran.
+func (s Stats) CacheHitRatio() float64 {
+	total := s.CacheHits + s.CacheMiss
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits) / float64(total)
 }
 
 // New creates a Manager with the given configuration.
@@ -138,6 +177,17 @@ func New(cfg Config) *Manager {
 		freeList: -1,
 	}
 	m.cacheMask = uint32(cs - 1)
+	if cfg.Telemetry != nil {
+		m.tel = cfg.Telemetry
+		m.telGCRuns = m.tel.Counter("bdd.gc_runs")
+		m.telGCFreed = m.tel.Counter("bdd.gc_freed_nodes")
+		m.telLimitHits = m.tel.Counter("bdd.node_limit_hits")
+		m.telCacheHit = m.tel.Counter("bdd.cache_hits")
+		m.telCacheMiss = m.tel.Counter("bdd.cache_misses")
+		m.telLive = m.tel.Gauge("bdd.live_nodes")
+		m.telPeak = m.tel.Gauge("bdd.peak_nodes")
+		m.telFree = m.tel.Gauge("bdd.free_nodes")
+	}
 	n := cfg.InitialNodes
 	m.lvl = make([]int32, 2, n)
 	m.lo = make([]int32, 2, n)
@@ -177,8 +227,31 @@ func (m *Manager) Size() int { return m.nodes }
 // Statistics returns a snapshot of manager counters.
 func (m *Manager) Statistics() Stats {
 	s := m.stats
-	s.LiveNodes = m.nodes
+	// Allocated slots minus the free list — NOT m.nodes, whose
+	// incremental bookkeeping can drift from the table (e.g. when GC
+	// resurrects a free-listed slot reachable from a re-referenced
+	// root).
+	s.LiveNodes = len(m.lvl) - m.freeCnt
+	s.FreeNodes = m.freeCnt
 	return s
+}
+
+// SampleTelemetry publishes current occupancy and cache counters to the
+// configured telemetry registry; a no-op without telemetry. Engines
+// call it at safe points (between top-level steps) so a live progress
+// sink sees BDD pressure as it builds.
+func (m *Manager) SampleTelemetry() {
+	if m.tel == nil {
+		return
+	}
+	m.telLive.Set(float64(len(m.lvl) - m.freeCnt))
+	m.telPeak.Max(float64(m.stats.PeakNodes))
+	m.telFree.Set(float64(m.freeCnt))
+	// Counters must stay monotone across managers sharing the
+	// registry, so publish deltas since the last sample.
+	m.telCacheHit.Add(int64(m.stats.CacheHits - m.sampledHits))
+	m.telCacheMiss.Add(int64(m.stats.CacheMiss - m.sampledMiss))
+	m.sampledHits, m.sampledMiss = m.stats.CacheHits, m.stats.CacheMiss
 }
 
 // Var returns the BDD for variable v (a single decision node testing v).
@@ -264,6 +337,11 @@ func (m *Manager) mk(lvl int32, lo, hi Node) Node {
 			// Garbage collection cannot run here: intermediate nodes of
 			// in-flight operations live only on the Go stack and would be
 			// swept. Clients collect at safe points via MaybeGC.
+			m.telLimitHits.Inc()
+			if m.tel.Active() {
+				m.tel.Emit(obs.Event{Stage: "bdd", Final: true,
+					Detail: fmt.Sprintf("node table limit exceeded (%s nodes)", obs.HumanCount(int64(m.limit)))})
+			}
 			panic(bddPanic{ErrNodeLimit})
 		}
 		id = int32(len(m.lvl))

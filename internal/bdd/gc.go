@@ -1,5 +1,11 @@
 package bdd
 
+import (
+	"fmt"
+
+	"sre/internal/obs"
+)
+
 // Garbage collection. The manager reference-counts external roots
 // (Ref/Deref); GC marks everything reachable from a referenced node and
 // returns all other slots to the free list. Node handles of collected
@@ -49,6 +55,7 @@ func (m *Manager) GC() int {
 		if mark[i] {
 			if m.ref[i] < 0 {
 				m.ref[i] = 0 // resurrect bookkeeping consistency
+				m.nodes++    // the slot leaves the free list and counts as allocated again
 			}
 			b := m.hashNode(m.lvl[i], m.lo[i], m.hi[i])
 			m.next[i] = m.hash[b]
@@ -71,6 +78,15 @@ func (m *Manager) GC() int {
 	}
 	m.clearCache()
 	m.stats.GCRuns++
+	m.telGCRuns.Inc()
+	m.telGCFreed.Add(int64(freed))
+	m.SampleTelemetry()
+	if m.tel.Active() {
+		m.tel.Emit(obs.Event{Stage: "bdd",
+			Detail: fmt.Sprintf("gc #%d freed %s nodes, live %s (peak %s)",
+				m.stats.GCRuns, obs.HumanCount(int64(freed)),
+				obs.HumanCount(int64(m.nodes)), obs.HumanCount(int64(m.stats.PeakNodes)))})
+	}
 	return freed
 }
 

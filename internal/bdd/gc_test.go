@@ -90,6 +90,59 @@ func TestGCReusePreservesUniqueness(t *testing.T) {
 	}
 }
 
+// TestGCStatisticsLiveNodes pins the Stats accounting: LiveNodes counts
+// allocated slots minus the free list, so a collection reduces
+// LiveNodes (freed slots move to the free list) while PeakNodes — the
+// high-water mark Figure 11 reports — is unaffected.
+func TestGCStatisticsLiveNodes(t *testing.T) {
+	m := New(Config{Vars: 16, InitialNodes: 32})
+	var roots []Node
+	for v := 0; v < 15; v++ {
+		roots = append(roots, m.Ref(m.And(m.Var(v), m.Var(v+1))))
+	}
+	before := m.Statistics()
+	if before.FreeNodes != 0 {
+		t.Fatalf("free list before GC = %d, want 0", before.FreeNodes)
+	}
+	if before.LiveNodes != m.Size() {
+		t.Fatalf("LiveNodes %d != Size %d with an empty free list", before.LiveNodes, m.Size())
+	}
+	for _, n := range roots {
+		m.Deref(n)
+	}
+	freed := m.GC()
+	if freed == 0 {
+		t.Fatal("expected the dereferenced conjunctions to be collected")
+	}
+	after := m.Statistics()
+	if after.LiveNodes >= before.LiveNodes {
+		t.Errorf("GC must reduce LiveNodes: %d -> %d", before.LiveNodes, after.LiveNodes)
+	}
+	if after.LiveNodes != before.LiveNodes-freed {
+		t.Errorf("LiveNodes %d, want %d (before %d - freed %d): free-listed slots still counted",
+			after.LiveNodes, before.LiveNodes-freed, before.LiveNodes, freed)
+	}
+	if after.FreeNodes != freed {
+		t.Errorf("FreeNodes = %d, want %d", after.FreeNodes, freed)
+	}
+	if after.PeakNodes != before.PeakNodes {
+		t.Errorf("GC must not change PeakNodes: %d -> %d", before.PeakNodes, after.PeakNodes)
+	}
+	if after.LiveNodes > after.PeakNodes {
+		t.Errorf("LiveNodes %d exceeds PeakNodes %d", after.LiveNodes, after.PeakNodes)
+	}
+	// The invariant survives slot reuse and rehashing.
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		buildRandom(m, r, 5)
+	}
+	s := m.Statistics()
+	if s.LiveNodes != m.Size() && s.LiveNodes != len(m.lvl)-m.freeCnt {
+		t.Errorf("LiveNodes %d inconsistent with table extent %d - free %d",
+			s.LiveNodes, len(m.lvl), m.freeCnt)
+	}
+}
+
 // TestMaybeGCThreshold verifies MaybeGC runs only above the threshold.
 func TestMaybeGCThreshold(t *testing.T) {
 	m := New(Config{Vars: 8})

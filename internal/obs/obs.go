@@ -1,0 +1,349 @@
+// Package obs is the telemetry substrate of the SRE pipeline: counters,
+// gauges, and histograms with atomic updates and a JSON snapshot,
+// hierarchical tracing spans, and a pluggable progress sink.
+//
+// The package is stdlib-only and imports nothing from the rest of the
+// repository, so every layer (including internal/bdd at the bottom of
+// the dependency tree) can publish into it.
+//
+// Everything is nil-safe: a nil *Telemetry hands out nil instrument
+// handles, and every method on a nil handle is a no-op. Hot paths
+// therefore resolve their handles once at construction time and call
+// them unconditionally; with telemetry disabled the calls reduce to a
+// nil check (no allocation, no atomics — see TestNilTelemetryAllocs).
+//
+// Metric naming convention: dotted "layer.metric" names, e.g.
+// "bdd.gc_runs", "src.activations", "spf.pfecs". Counters are
+// cumulative and monotone for the lifetime of the registry, even when
+// several BDD managers (miner strata) report into it in sequence.
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. A nil *Counter is a
+// valid no-op instrument.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be non-negative to preserve
+// monotonicity; negative deltas are dropped).
+func (c *Counter) Add(n int64) {
+	if c == nil || n < 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 value that can move both ways. A nil *Gauge is a
+// valid no-op instrument.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores x.
+func (g *Gauge) Set(x float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(x))
+}
+
+// Max stores x only if it exceeds the current value (high-water marks
+// such as peak BDD nodes across several managers).
+func (g *Gauge) Max(x float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if math.Float64frombits(old) >= x {
+			return
+		}
+		if g.bits.CompareAndSwap(old, math.Float64bits(x)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the number of power-of-two histogram buckets: bucket i
+// counts observations whose bit length is i, i.e. values in
+// [2^(i-1), 2^i). Bucket 0 counts observations ≤ 0.
+const histBuckets = 64
+
+// Histogram records a distribution of int64 observations (typically
+// nanosecond durations) in power-of-two buckets. A nil *Histogram is a
+// valid no-op instrument.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	max     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		old := h.max.Load()
+		if old >= v || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	idx := 0
+	if v > 0 {
+		idx = bits.Len64(uint64(v))
+	}
+	if idx >= histBuckets {
+		idx = histBuckets - 1
+	}
+	h.buckets[idx].Add(1)
+}
+
+// HistogramSnapshot is the JSON form of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   int64   `json:"sum"`
+	Mean  float64 `json:"mean"`
+	Max   int64   `json:"max"`
+	// P50/P90/P99 are upper bounds of the power-of-two bucket holding
+	// the respective quantile (order-of-magnitude precision).
+	P50 int64 `json:"p50"`
+	P90 int64 `json:"p90"`
+	P99 int64 `json:"p99"`
+}
+
+// snapshot captures the histogram. Concurrent Observe calls may tear
+// between fields; counts remain monotone.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+	if s.Count > 0 {
+		s.Mean = float64(s.Sum) / float64(s.Count)
+	}
+	quantile := func(q float64) int64 {
+		target := int64(math.Ceil(q * float64(s.Count)))
+		if target <= 0 {
+			return 0
+		}
+		cum := int64(0)
+		for i := 0; i < histBuckets; i++ {
+			cum += h.buckets[i].Load()
+			if cum >= target {
+				if i == 0 {
+					return 0
+				}
+				if i >= 63 {
+					return math.MaxInt64
+				}
+				return 1 << i // bucket upper bound
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	return s
+}
+
+// Telemetry is a registry of named instruments, tracing spans, and an
+// optional progress sink. A nil *Telemetry disables everything.
+type Telemetry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	roots    []*Span
+
+	sink atomic.Pointer[sinkBox]
+}
+
+type sinkBox struct{ s Sink }
+
+// New creates an empty telemetry registry.
+func New() *Telemetry {
+	return &Telemetry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// SetSink installs the progress sink (nil removes it). Safe to call
+// concurrently with Emit.
+func (t *Telemetry) SetSink(s Sink) {
+	if t == nil {
+		return
+	}
+	if s == nil {
+		t.sink.Store(nil)
+		return
+	}
+	t.sink.Store(&sinkBox{s: s})
+}
+
+// Active reports whether a progress sink is installed. Producers use it
+// to skip building event detail strings when nobody listens.
+func (t *Telemetry) Active() bool {
+	return t != nil && t.sink.Load() != nil
+}
+
+// Emit forwards a progress event to the sink, if any.
+func (t *Telemetry) Emit(e Event) {
+	if t == nil {
+		return
+	}
+	if box := t.sink.Load(); box != nil {
+		box.s.Emit(e)
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Returns
+// nil (a no-op handle) on a nil registry.
+func (t *Telemetry) Counter(name string) *Counter {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c, ok := t.counters[name]
+	if !ok {
+		c = &Counter{}
+		t.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (t *Telemetry) Gauge(name string) *Gauge {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	g, ok := t.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		t.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (t *Telemetry) Histogram(name string) *Histogram {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h, ok := t.hists[name]
+	if !ok {
+		h = &Histogram{}
+		t.hists[name] = h
+	}
+	return h
+}
+
+// Report is the JSON snapshot of a telemetry registry.
+type Report struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      []SpanSnapshot               `json:"spans,omitempty"`
+}
+
+// Snapshot captures every instrument and span. Spans still running are
+// reported with their duration so far. Safe to call concurrently with
+// updates; counters never decrease between snapshots.
+func (t *Telemetry) Snapshot() Report {
+	r := Report{
+		Counters: map[string]int64{},
+		Gauges:   map[string]float64{},
+	}
+	if t == nil {
+		return r
+	}
+	t.mu.Lock()
+	counters := make(map[string]*Counter, len(t.counters))
+	for k, v := range t.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(t.gauges))
+	for k, v := range t.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(t.hists))
+	for k, v := range t.hists {
+		hists[k] = v
+	}
+	roots := append([]*Span(nil), t.roots...)
+	t.mu.Unlock()
+
+	for k, c := range counters {
+		r.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		r.Gauges[k] = g.Value()
+	}
+	if len(hists) > 0 {
+		r.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			r.Histograms[k] = h.snapshot()
+		}
+	}
+	for _, s := range roots {
+		r.Spans = append(r.Spans, s.snapshot())
+	}
+	return r
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (t *Telemetry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Snapshot())
+}
+
+// CounterNames returns the registered counter names, sorted.
+func (t *Telemetry) CounterNames() []string {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.counters))
+	for k := range t.counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCountersConcurrent hammers one counter from many goroutines; run
+// with -race this also vets the atomic implementation.
+func TestCountersConcurrent(t *testing.T) {
+	tel := New()
+	c := tel.Counter("x")
+	g := tel.Gauge("g")
+	h := tel.Histogram("h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				g.Max(float64(i*1000 + j))
+				h.Observe(int64(j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("counter = %d, want 8000", c.Value())
+	}
+	if g.Value() != 7999 {
+		t.Errorf("gauge max = %v, want 7999", g.Value())
+	}
+	if got := tel.Snapshot().Histograms["h"].Count; got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+// TestSnapshotValidJSON checks the metrics JSON schema: the snapshot
+// marshals to valid JSON that round-trips into a Report.
+func TestSnapshotValidJSON(t *testing.T) {
+	tel := New()
+	tel.Counter("bdd.gc_runs").Add(3)
+	tel.Gauge("bdd.peak_nodes").Set(1234)
+	tel.Histogram("src.activation_ns").Observe(1500)
+	sp := tel.Start("pipeline")
+	child := sp.Start("src")
+	child.SetAttr("routers", 12)
+	child.End()
+	sp.End()
+
+	var buf bytes.Buffer
+	if err := tel.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("invalid JSON: %s", buf.String())
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["bdd.gc_runs"] != 3 {
+		t.Errorf("counter lost in round trip: %+v", back.Counters)
+	}
+	if back.Gauges["bdd.peak_nodes"] != 1234 {
+		t.Errorf("gauge lost in round trip: %+v", back.Gauges)
+	}
+	if len(back.Spans) != 1 || len(back.Spans[0].Children) != 1 {
+		t.Fatalf("span tree lost: %+v", back.Spans)
+	}
+	if back.Spans[0].Children[0].Attrs["routers"] != float64(12) {
+		t.Errorf("attr lost: %+v", back.Spans[0].Children[0].Attrs)
+	}
+	if back.Histograms["src.activation_ns"].Count != 1 {
+		t.Errorf("histogram lost: %+v", back.Histograms)
+	}
+}
+
+// TestCountersMonotone verifies counters never decrease across
+// snapshots while updates are in flight.
+func TestCountersMonotone(t *testing.T) {
+	tel := New()
+	c := tel.Counter("work")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 5000; i++ {
+			c.Add(2)
+		}
+	}()
+	prev := int64(-1)
+	for i := 0; i < 100; i++ {
+		cur := tel.Snapshot().Counters["work"]
+		if cur < prev {
+			t.Fatalf("counter decreased: %d -> %d", prev, cur)
+		}
+		prev = cur
+	}
+	<-done
+	if got := tel.Snapshot().Counters["work"]; got != 10000 {
+		t.Errorf("final counter = %d, want 10000", got)
+	}
+	// Negative deltas are dropped, not applied.
+	c.Add(-5)
+	if got := c.Value(); got != 10000 {
+		t.Errorf("counter after negative add = %d, want 10000", got)
+	}
+}
+
+// TestNilTelemetryAllocs pins the disabled-telemetry fast path: nil
+// handles must not allocate (the <5% overhead budget of the fat-tree
+// benchmark depends on this).
+func TestNilTelemetryAllocs(t *testing.T) {
+	var tel *Telemetry
+	c := tel.Counter("x")
+	g := tel.Gauge("x")
+	h := tel.Histogram("x")
+	sp := tel.Start("x")
+	allocs := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(5)
+		g.Set(1)
+		g.Max(2)
+		h.Observe(3)
+		sp.SetAttr("k", 1)
+		sp.Start("child").End()
+		sp.End()
+		tel.Emit(Event{Stage: "x"})
+		if tel.Active() {
+			t.Fatal("nil telemetry must not be active")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("nil telemetry allocated %v times per op, want 0", allocs)
+	}
+	if snap := tel.Snapshot(); len(snap.Spans) != 0 || len(snap.Counters) != 0 {
+		t.Error("nil telemetry snapshot must be empty")
+	}
+}
+
+// TestTickerRateLimit checks the stderr-style ticker drops events inside
+// the interval and always passes final events.
+func TestTickerRateLimit(t *testing.T) {
+	var buf bytes.Buffer
+	tk := NewTicker(&buf, time.Hour)
+	tk.Emit(Event{Stage: "spf", Done: 1, Total: 10, Unit: "routers"})
+	tk.Emit(Event{Stage: "spf", Done: 2, Total: 10, Unit: "routers"}) // dropped
+	tk.Emit(Event{Stage: "src", Done: 3, Unit: "activations"})        // different stage
+	tk.Emit(Event{Stage: "spf", Done: 10, Total: 10, Unit: "routers", Final: true})
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3: %q", len(lines), buf.String())
+	}
+	if lines[0] != "spf: 1/10 routers" {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "src: 3 activations" {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+	if lines[2] != "spf: 10/10 routers" {
+		t.Errorf("line 2 = %q", lines[2])
+	}
+}
+
+// TestEventString covers the formatting contract of the example line in
+// the package documentation.
+func TestEventString(t *testing.T) {
+	e := Event{Stage: "spf", Done: 412, Total: 1280, Unit: "routers",
+		Detail: "18.2k PFECs, bdd 1.4M nodes (peak 2.1M), cache hit 93%"}
+	want := "412/1280 routers, 18.2k PFECs, bdd 1.4M nodes (peak 2.1M), cache hit 93%"
+	if e.String() != want {
+		t.Errorf("got %q, want %q", e.String(), want)
+	}
+	if got := HumanCount(18200); got != "18.2k" {
+		t.Errorf("HumanCount = %q", got)
+	}
+	if got := HumanCount(1400000); got != "1.4M" {
+		t.Errorf("HumanCount = %q", got)
+	}
+	if got := HumanPct(93, 100); got != "93.0%" {
+		t.Errorf("HumanPct = %q", got)
+	}
+}
+
+// TestSpanDuration checks running vs ended spans and attribute
+// overwrites.
+func TestSpanDuration(t *testing.T) {
+	tel := New()
+	sp := tel.Start("s")
+	sp.SetAttr("k", 1)
+	sp.SetAttr("k", 2)
+	if d := sp.Duration(); d < 0 {
+		t.Error("running span duration negative")
+	}
+	snap := tel.Snapshot()
+	if !snap.Spans[0].Running {
+		t.Error("span should report running before End")
+	}
+	sp.End()
+	d1 := sp.Duration()
+	sp.End() // second End is a no-op
+	if sp.Duration() != d1 {
+		t.Error("second End changed the duration")
+	}
+	snap = tel.Snapshot()
+	if snap.Spans[0].Running {
+		t.Error("span should not report running after End")
+	}
+	if snap.Spans[0].Attrs["k"] != 2 {
+		t.Errorf("attr overwrite failed: %+v", snap.Spans[0].Attrs)
+	}
+}

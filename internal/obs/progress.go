@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Event is one progress update from a pipeline stage, e.g.
+//
+//	Event{Stage: "spf", Done: 412, Total: 1280, Unit: "routers",
+//	      Detail: "18.2k PFECs, bdd 1.4M nodes (peak 2.1M), cache hit 93%"}
+//
+// Producers emit events freely (rate limiting is the sink's job), but
+// should guard the construction of Detail strings with
+// Telemetry.Active() so disabled telemetry formats nothing.
+type Event struct {
+	// Stage names the emitting stage ("src", "spf", "mine", "bdd").
+	Stage string
+	// Done/Total describe progress through a known amount of work.
+	// Total 0 means the total is unknown; Done 0 with Total 0 means the
+	// event is purely informational (Detail only).
+	Done, Total int64
+	// Unit is the unit of Done/Total ("routers", "pairs", ...).
+	Unit string
+	// Detail is extra human-readable context, already formatted.
+	Detail string
+	// Final marks the last event of a stage; tickers always pass final
+	// events through regardless of rate limiting.
+	Final bool
+}
+
+// String formats the event as a single log line (without the stage
+// prefix).
+func (e Event) String() string {
+	var b strings.Builder
+	switch {
+	case e.Total > 0:
+		fmt.Fprintf(&b, "%d/%d", e.Done, e.Total)
+	case e.Done > 0:
+		b.WriteString(HumanCount(e.Done))
+	}
+	if e.Unit != "" && b.Len() > 0 {
+		b.WriteByte(' ')
+		b.WriteString(e.Unit)
+	}
+	if e.Detail != "" {
+		if b.Len() > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(e.Detail)
+	}
+	return b.String()
+}
+
+// Sink consumes progress events. Implementations must be safe for
+// concurrent use.
+type Sink interface {
+	Emit(Event)
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(Event)
+
+// Emit implements Sink.
+func (f SinkFunc) Emit(e Event) { f(e) }
+
+// Ticker is the default progress sink: it prints events as single lines
+// ("spf: 412/1280 routers, 18.2k PFECs, ...") to a writer, dropping
+// events of the same stage that arrive within Interval of the last
+// printed one. Final events always print.
+type Ticker struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	last map[string]time.Time
+}
+
+// NewTicker creates a ticker sink. A nil writer means os.Stderr; a zero
+// interval means 500ms.
+func NewTicker(w io.Writer, interval time.Duration) *Ticker {
+	if w == nil {
+		w = os.Stderr
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	return &Ticker{w: w, interval: interval, last: make(map[string]time.Time)}
+}
+
+// Emit implements Sink.
+func (t *Ticker) Emit(e Event) {
+	now := time.Now()
+	t.mu.Lock()
+	if !e.Final && now.Sub(t.last[e.Stage]) < t.interval {
+		t.mu.Unlock()
+		return
+	}
+	t.last[e.Stage] = now
+	t.mu.Unlock()
+	fmt.Fprintf(t.w, "%s: %s\n", e.Stage, e)
+}
+
+// HumanCount renders a count compactly: 912, 18.2k, 1.4M, 2.1G.
+func HumanCount(n int64) string {
+	f := float64(n)
+	switch {
+	case n < 0:
+		return fmt.Sprintf("%d", n)
+	case f >= 1e9:
+		return fmt.Sprintf("%.1fG", f/1e9)
+	case f >= 1e6:
+		return fmt.Sprintf("%.1fM", f/1e6)
+	case f >= 1e3:
+		return fmt.Sprintf("%.1fk", f/1e3)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// HumanPct renders a ratio as a percentage ("93.2%"); NaN-safe.
+func HumanPct(num, den float64) string {
+	if den <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.1f%%", 100*num/den)
+}

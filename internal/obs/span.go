@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one node of a tracing tree: a named region of execution with
+// a duration, attached attributes (routers processed, PFECs found,
+// prune decisions, ...), and child spans. Spans are created with
+// Telemetry.Start (roots) or Span.Start (children) and closed with End.
+// A nil *Span is a valid no-op handle.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	dur      time.Duration
+	ended    bool
+	attrs    []attr
+	children []*Span
+}
+
+type attr struct {
+	key   string
+	value interface{}
+}
+
+// Start opens a root span on the registry. Returns nil (a no-op span)
+// on a nil registry.
+func (t *Telemetry) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	t.mu.Lock()
+	t.roots = append(t.roots, s)
+	t.mu.Unlock()
+	return s
+}
+
+// Start opens a child span.
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{name: name, start: time.Now()}
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// SetAttr attaches an attribute; the last write of a key wins. Values
+// should be JSON-marshalable (string, int, float, bool).
+func (s *Span) SetAttr(key string, value interface{}) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.attrs {
+		if s.attrs[i].key == key {
+			s.attrs[i].value = value
+			return
+		}
+	}
+	s.attrs = append(s.attrs, attr{key: key, value: value})
+}
+
+// End closes the span, fixing its duration. Further End calls are
+// ignored.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ended {
+		s.ended = true
+		s.dur = time.Since(s.start)
+	}
+}
+
+// Duration returns the span duration: final if ended, elapsed so far
+// otherwise.
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return s.dur
+	}
+	return time.Since(s.start)
+}
+
+// SpanSnapshot is the JSON form of a span tree node.
+type SpanSnapshot struct {
+	Name            string                 `json:"name"`
+	DurationSeconds float64                `json:"duration_seconds"`
+	Running         bool                   `json:"running,omitempty"`
+	Attrs           map[string]interface{} `json:"attrs,omitempty"`
+	Children        []SpanSnapshot         `json:"children,omitempty"`
+}
+
+func (s *Span) snapshot() SpanSnapshot {
+	s.mu.Lock()
+	snap := SpanSnapshot{Name: s.name, Running: !s.ended}
+	if s.ended {
+		snap.DurationSeconds = s.dur.Seconds()
+	} else {
+		snap.DurationSeconds = time.Since(s.start).Seconds()
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]interface{}, len(s.attrs))
+		for _, a := range s.attrs {
+			snap.Attrs[a.key] = a.value
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot())
+	}
+	return snap
+}

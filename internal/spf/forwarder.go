@@ -12,9 +12,11 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/obs"
 	"sre/internal/route"
 	"sre/internal/src"
 	"sre/internal/symbol"
@@ -99,12 +101,23 @@ type Forwarder struct {
 	// MaxPFECs bounds the number of PFECs produced per source as a
 	// safety valve (0 = unlimited).
 	MaxPFECs int
+
+	// Telemetry handles, inherited from the engine's options (nil-safe
+	// no-ops when telemetry is disabled).
+	tel          *obs.Telemetry
+	telPFECs     *obs.Counter
+	telDelivered *obs.Counter
+	telForward   *obs.Histogram
 }
 
 // NewForwarder builds symbolic FIBs and port predicates from the
 // symbolic RIBs computed by eng. The engine must have Run successfully.
 func NewForwarder(eng *src.Engine) (*Forwarder, error) {
 	f := &Forwarder{Net: eng.Net, Sp: eng.Sp}
+	f.tel = eng.Opts.Telemetry
+	f.telPFECs = f.tel.Counter("spf.pfecs")
+	f.telDelivered = f.tel.Counter("spf.pfecs_delivered")
+	f.telForward = f.tel.Histogram("spf.forward_ns")
 	err := protect(func() {
 		f.build(eng)
 	})
@@ -339,6 +352,11 @@ func (f *Forwarder) ForwardHeaders(srcRouter topology.RouterID, headers bdd.Node
 }
 
 func (f *Forwarder) forward(srcRouter topology.RouterID, initial bdd.Node) []*PFEC {
+	if f.tel != nil {
+		defer func(t0 time.Time) {
+			f.telForward.Observe(time.Since(t0).Nanoseconds())
+		}(time.Now())
+	}
 	t := f.Net.Topology
 	m := f.Sp.M
 	var out []*PFEC
@@ -352,6 +370,10 @@ func (f *Forwarder) forward(srcRouter topology.RouterID, initial bdd.Node) []*PF
 		cp := make([]topology.RouterID, len(path))
 		copy(cp, path)
 		out = append(out, &PFEC{Path: cp, Pred: m.Ref(pred), Delivered: delivered, Looped: looped})
+		f.telPFECs.Inc()
+		if delivered {
+			f.telDelivered.Inc()
+		}
 	}
 
 	var visit func(r topology.RouterID, pkt bdd.Node)

@@ -22,9 +22,11 @@ package src
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/obs"
 	"sre/internal/route"
 	"sre/internal/symbol"
 	"sre/internal/topology"
@@ -59,6 +61,10 @@ type Options struct {
 	// conditions are the OSPF reachability conditions between the
 	// peers (§4, "Supporting multiple protocols").
 	IBGPFullMesh bool
+	// Telemetry, when non-nil, receives src.* counters, per-activation
+	// timing histograms, and progress events during Run. Nil disables
+	// all instrumentation at near-zero cost.
+	Telemetry *obs.Telemetry
 }
 
 // SymRoute is a symbolic route: a concrete route plus its topology
@@ -142,6 +148,13 @@ type Engine struct {
 	meshMembers  map[topology.RouterID]bool
 	loopbackOSPF map[topology.RouterID]route.Prefix
 	vsessions    map[topology.RouterID][]virtualSession
+
+	// Telemetry handles (nil-safe no-ops when Opts.Telemetry is nil).
+	tel           *obs.Telemetry
+	telActs       *obs.Counter
+	telImported   *obs.Counter
+	telPruned     *obs.Counter
+	telActivation *obs.Histogram
 }
 
 type message struct {
@@ -198,6 +211,11 @@ func NewWithSpace(net *config.Network, sp *symbol.Space, opts Options) *Engine {
 			e.prefixSet[p] = true
 		}
 	}
+	e.tel = opts.Telemetry
+	e.telActs = e.tel.Counter("src.activations")
+	e.telImported = e.tel.Counter("src.routes_imported")
+	e.telPruned = e.tel.Counter("src.routes_pruned")
+	e.telActivation = e.tel.Histogram("src.activation_ns")
 	return e
 }
 
@@ -255,14 +273,45 @@ func (e *Engine) Run() error {
 			e.queue = e.queue[1:]
 			e.queued[r] = false
 			e.stats.Activations++
+			e.telActs.Inc()
 			if e.stats.Activations > e.Opts.MaxIterations {
 				panic(convergencePanic{})
 			}
+			var t0 time.Time
+			if e.tel != nil {
+				t0 = time.Now()
+			}
 			e.updateRIB(r)
+			if e.tel != nil {
+				e.telActivation.Observe(time.Since(t0).Nanoseconds())
+				if e.stats.Activations%128 == 0 && e.tel.Active() {
+					e.emitProgress(false)
+				}
+			}
 			m.MaybeGC(0)
 		}
 	})
+	if e.tel.Active() {
+		e.emitProgress(true)
+	}
 	return err
+}
+
+// emitProgress publishes a src progress event. Callers guard with
+// tel.Active() so the detail string is only built when someone listens.
+func (e *Engine) emitProgress(final bool) {
+	st := e.Sp.M.Statistics()
+	e.Sp.M.SampleTelemetry()
+	e.tel.Emit(obs.Event{
+		Stage: "src",
+		Done:  int64(e.stats.Activations),
+		Unit:  "activations",
+		Detail: fmt.Sprintf("%s routes, bdd %s nodes (peak %s), cache hit %s",
+			obs.HumanCount(int64(e.stats.RoutesImported)),
+			obs.HumanCount(int64(st.LiveNodes)), obs.HumanCount(int64(st.PeakNodes)),
+			obs.HumanPct(float64(st.CacheHits), float64(st.CacheHits+st.CacheMiss))),
+		Final: final,
+	})
 }
 
 type convergencePanic struct{}
@@ -393,6 +442,7 @@ func (e *Engine) updateRIB(r topology.RouterID) {
 	changed := make(map[route.Prefix]bool)
 	for _, msg := range msgs {
 		e.stats.RoutesImported++
+		e.telImported.Inc()
 		rt, tc := e.importTransform(r, msg)
 		if rt == nil {
 			m.Deref(msg.tc)
@@ -511,6 +561,7 @@ func (e *Engine) importTransform(r topology.RouterID, msg message) (*route.Route
 	tc := e.Sp.M.And(msg.tc, e.filter)
 	if tc == bdd.False && msg.tc != bdd.False {
 		e.stats.RoutesPruned++
+		e.telPruned.Inc()
 	}
 	return rt, tc
 }

@@ -1,0 +1,130 @@
+package sre
+
+import (
+	"encoding/json"
+	"io"
+
+	"sre/internal/obs"
+	"sre/internal/prob"
+)
+
+// Telemetry collects counters, gauges, histograms, tracing spans, and
+// progress events across the verification pipeline. Create one with
+// NewTelemetry, pass it via Options.Telemetry (it may be shared across
+// verifiers — counters accumulate), and read it back with
+// Verifier.Metrics or Telemetry.WriteJSON.
+type Telemetry = obs.Telemetry
+
+// ProgressEvent is one live progress update from a pipeline stage, e.g.
+// "spf: 412/1280 routers, 18.2k PFECs, bdd 1.4M nodes (peak 2.1M),
+// cache hit 93%".
+type ProgressEvent = obs.Event
+
+// ProgressSink consumes progress events; see Options.Progress.
+type ProgressSink = obs.Sink
+
+// ProgressFunc adapts a function to the ProgressSink interface.
+type ProgressFunc = obs.SinkFunc
+
+// TraceSpan is a snapshot of one tracing span (stage timings with
+// attributes, nested per pipeline structure).
+type TraceSpan = obs.SpanSnapshot
+
+// TelemetryReport is the JSON-marshalable snapshot of a Telemetry:
+// counters, gauges, histogram summaries, and span trees.
+type TelemetryReport = obs.Report
+
+// NewTelemetry creates an empty telemetry registry. It also installs
+// itself as the sink of the prob package's counters (the package's
+// functions are free functions, so the hook is global; the last
+// installed telemetry wins).
+func NewTelemetry() *Telemetry {
+	t := obs.New()
+	prob.SetTelemetry(t)
+	return t
+}
+
+// StderrProgress returns the default progress sink: a rate-limited
+// ticker printing one line per stage to stderr at most every 500ms.
+func StderrProgress() ProgressSink { return obs.NewTicker(nil, 0) }
+
+// MetricsReport is the typed metrics summary of one verification run.
+// All fields are available even when telemetry was disabled; Telemetry
+// carries the full counter/span snapshot when it was enabled.
+type MetricsReport struct {
+	// SRCSeconds/SPFSeconds are the stage wall times of Figure 13.
+	SRCSeconds float64 `json:"src_seconds"`
+	SPFSeconds float64 `json:"spf_seconds"`
+
+	NumRouters int `json:"num_routers"`
+	NumLinks   int `json:"num_links"`
+	// NumPFECs is the number of packet failure equivalence classes
+	// discovered across all sources.
+	NumPFECs int `json:"num_pfecs"`
+
+	// Control-plane work counters (the paper's Table 2).
+	RoutesImported int `json:"routes_imported"`
+	RoutesPruned   int `json:"routes_pruned"`
+	RIBRoutes      int `json:"rib_routes"`
+	Activations    int `json:"activations"`
+
+	BDD BDDMetrics `json:"bdd"`
+
+	// Telemetry is the full registry snapshot, present when the
+	// verifier ran with telemetry enabled.
+	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
+}
+
+// BDDMetrics reports the state of the BDD manager behind a verifier.
+type BDDMetrics struct {
+	// LiveNodes is allocated slots minus the free list; PeakNodes is
+	// the high-water mark (Figure 11's memory proxy).
+	LiveNodes     int     `json:"live_nodes"`
+	FreeNodes     int     `json:"free_nodes"`
+	PeakNodes     int     `json:"peak_nodes"`
+	GCRuns        int     `json:"gc_runs"`
+	CacheHits     uint64  `json:"cache_hits"`
+	CacheMisses   uint64  `json:"cache_misses"`
+	CacheHitRatio float64 `json:"cache_hit_ratio"`
+}
+
+// Metrics returns the metrics of the verifier's symbolic execution. The
+// report is complete without telemetry; with Options.Telemetry set it
+// additionally embeds the counter and span snapshot.
+func (v *Verifier) Metrics() MetricsReport {
+	est := v.pipe.Eng.Statistics()
+	bst := v.pipe.Sp.M.Statistics()
+	r := MetricsReport{
+		SRCSeconds:     v.pipe.SRCTime.Seconds(),
+		SPFSeconds:     v.pipe.SPFTime.Seconds(),
+		NumRouters:     v.net.Topology.NumRouters(),
+		NumLinks:       v.net.Topology.NumLinks(),
+		NumPFECs:       v.pipe.NumPFECs(),
+		RoutesImported: est.RoutesImported,
+		RoutesPruned:   est.RoutesPruned,
+		RIBRoutes:      est.RIBRoutes,
+		Activations:    est.Activations,
+		BDD: BDDMetrics{
+			LiveNodes:     bst.LiveNodes,
+			FreeNodes:     bst.FreeNodes,
+			PeakNodes:     bst.PeakNodes,
+			GCRuns:        bst.GCRuns,
+			CacheHits:     bst.CacheHits,
+			CacheMisses:   bst.CacheMiss,
+			CacheHitRatio: bst.CacheHitRatio(),
+		},
+	}
+	if v.tel != nil {
+		v.pipe.Sp.M.SampleTelemetry()
+		rep := v.tel.Snapshot()
+		r.Telemetry = &rep
+	}
+	return r
+}
+
+// WriteMetrics writes the metrics report as indented JSON.
+func (v *Verifier) WriteMetrics(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v.Metrics())
+}

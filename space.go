@@ -2,6 +2,7 @@ package sre
 
 import (
 	"sre/internal/bdd"
+	"sre/internal/obs"
 	"sre/internal/symbol"
 )
 
@@ -11,8 +12,10 @@ type symbolSpace = symbol.Space
 
 // newSpace allocates the symbolic space for a network: 32 destination
 // header bits, one variable per link, and one node-failure variable per
-// router (used by probabilistic analyses with node failures).
-func newSpace(net *Network, nodeLimit int) *symbolSpace {
+// router (used by probabilistic analyses with node failures). The
+// telemetry handle (may be nil) wires bdd.* counters and gauges into the
+// underlying manager.
+func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry) *symbolSpace {
 	return symbol.NewSpace(net.Topology.NumLinks(),
-		bdd.Config{NodeLimit: nodeLimit}, net.Topology.NumRouters())
+		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel}, net.Topology.NumRouters())
 }

@@ -37,6 +37,7 @@ import (
 	"sre/internal/analysis"
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/obs"
 	"sre/internal/prob"
 	"sre/internal/route"
 	"sre/internal/src"
@@ -93,6 +94,34 @@ type Options struct {
 	// BDDNodeLimit caps the BDD node table (0 = the package default).
 	// When exceeded, NewVerifier returns ErrBDDLimit.
 	BDDNodeLimit int
+	// Telemetry, when non-nil, collects counters, gauges, histograms,
+	// and tracing spans across the run (see NewTelemetry and
+	// Verifier.Metrics). Nil disables collection at near-zero cost
+	// unless Progress or Trace request an internal instance.
+	Telemetry *Telemetry
+	// Progress receives live progress events during symbolic execution
+	// ("spf: 412/1280 routers, ..."). StderrProgress() gives the
+	// default rate-limited stderr ticker. Setting Progress without a
+	// Telemetry creates one internally.
+	Progress ProgressSink
+	// Trace enables tracing spans without an explicit Telemetry: an
+	// internal instance is created and its span tree is reported by
+	// Verifier.Metrics.
+	Trace bool
+}
+
+// telemetry resolves the telemetry instance implied by the options: the
+// explicit one, or a fresh internal one when Progress or Trace ask for
+// collection. The progress sink, if any, is installed on it.
+func (o Options) telemetry() *obs.Telemetry {
+	tel := o.Telemetry
+	if tel == nil && (o.Progress != nil || o.Trace) {
+		tel = NewTelemetry()
+	}
+	if tel != nil && o.Progress != nil {
+		tel.SetSink(o.Progress)
+	}
+	return tel
 }
 
 // ErrBDDLimit is returned when the BDD node table overflows — the
@@ -104,6 +133,7 @@ var ErrBDDLimit = bdd.ErrNodeLimit
 type Verifier struct {
 	net  *Network
 	pipe *analysis.Pipeline
+	tel  *obs.Telemetry
 }
 
 // NewVerifier symbolically executes the network (symbolic route
@@ -118,7 +148,7 @@ func NewVerifier(net *Network, opts Options) (*Verifier, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Verifier{net: net, pipe: pipe}, nil
+	return &Verifier{net: net, pipe: pipe, tel: srcOpts.Telemetry}, nil
 }
 
 func buildOpts(net *Network, opts Options) (src.Options, *symbolSpace, error) {
@@ -127,6 +157,7 @@ func buildOpts(net *Network, opts Options) (src.Options, *symbolSpace, error) {
 		Abstract:     opts.Abstract,
 		NoECMP:       opts.NoECMP,
 		IBGPFullMesh: opts.IBGPFullMesh,
+		Telemetry:    opts.telemetry(),
 	}
 	for _, p := range opts.Prefixes {
 		pfx, err := route.ParsePrefix(p)
@@ -135,7 +166,7 @@ func buildOpts(net *Network, opts Options) (src.Options, *symbolSpace, error) {
 		}
 		srcOpts.Prefixes = append(srcOpts.Prefixes, pfx)
 	}
-	sp := newSpace(net, opts.BDDNodeLimit)
+	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry)
 	return srcOpts, sp, nil
 }
 
@@ -287,11 +318,9 @@ func (v *Verifier) Probability(srcRouter, prefix string, model FailureModel) (fl
 	hdr := v.pipe.OwnedHeaders(pfx)
 	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
 	if model.nodes {
-		results := v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})
-		return minProb(results), nil
+		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown}))
 	}
-	results := v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})
-	return minProb(results), nil
+	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown}))
 }
 
 // WaypointProbability is Probability for the waypoint property.
@@ -307,22 +336,31 @@ func (v *Verifier) WaypointProbability(srcRouter, prefix, waypoint string, model
 	hdr := v.pipe.OwnedHeaders(pfx)
 	prop := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
 	if model.nodes {
-		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})), nil
+		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown}))
 	}
-	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})), nil
+	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown}))
 }
 
-func minProb(results []analysis.ProbabilityResult) float64 {
-	min := 1.0
+// ErrNoPFECs is returned by probability queries whose property BDD is
+// empty: no (packet, failure) tuple satisfies the property at all, so
+// there is no probability to report. This is distinct from a genuine
+// probability of 0, which arises when tuples exist but their scenario
+// sets have zero mass under the failure model.
+var ErrNoPFECs = fmt.Errorf("sre: property holds for no (packet, failure) tuple")
+
+// minProb returns the minimum probability across the extracted packet
+// sets, or ErrNoPFECs when the property produced none.
+func minProb(results []analysis.ProbabilityResult) (float64, error) {
 	if len(results) == 0 {
-		return 0
+		return 0, ErrNoPFECs
 	}
+	min := 1.0
 	for _, r := range results {
 		if r.P < min {
 			min = r.P
 		}
 	}
-	return min
+	return min, nil
 }
 
 // RequiredBudget returns the minimum failure budget k such that ignoring
@@ -346,7 +384,8 @@ type PairKey = analysis.PairKey
 // route/prefix pruning.
 func MineSpecs(net *Network, maxFailures int, opts Options) (*Specs, error) {
 	mn := &analysis.Miner{Net: net, KMax: maxFailures,
-		SrcOpts: src.Options{Abstract: opts.Abstract, NoECMP: opts.NoECMP}}
+		SrcOpts: src.Options{Abstract: opts.Abstract, NoECMP: opts.NoECMP,
+			Telemetry: opts.telemetry()}}
 	return mn.Mine()
 }
 
@@ -363,14 +402,17 @@ type Difference struct {
 // Diff compares two configurations over the product space of packets
 // and failures (up to maxFailures), returning the (source, prefix)
 // reachability differences, each with a concrete failure-scenario
-// witness and before/after tolerance and probability.
-func Diff(before, after *Network, maxFailures int, model FailureModel) ([]Difference, error) {
-	pb, err := analysis.Run(before, src.Options{PruneK: maxFailures})
+// witness and before/after tolerance and probability. Only the
+// telemetry-related fields of opts are consulted (both runs report into
+// the same registry); pass Options{} for the previous behaviour.
+func Diff(before, after *Network, maxFailures int, model FailureModel, opts Options) ([]Difference, error) {
+	tel := opts.telemetry()
+	pb, err := analysis.Run(before, src.Options{PruneK: maxFailures, Telemetry: tel})
 	if err != nil {
 		return nil, err
 	}
 	defer pb.Release()
-	pa, err := analysis.Run(after, src.Options{PruneK: maxFailures})
+	pa, err := analysis.Run(after, src.Options{PruneK: maxFailures, Telemetry: tel})
 	if err != nil {
 		return nil, err
 	}

@@ -148,7 +148,7 @@ func TestPublicDiff(t *testing.T) {
 	a := after.Topology.MustRouter("A")
 	ac, _ := after.Topology.LinkBetween(a, c)
 	after.Router(c).Interfaces[ac].ACLIn = nil
-	diffs, err := sre.Diff(before, after, 3, sre.LinkFailures(0.001))
+	diffs, err := sre.Diff(before, after, 3, sre.LinkFailures(0.001), sre.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
