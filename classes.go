@@ -43,38 +43,38 @@ func (c ForwardingClass) String() string {
 // router, most-covering first. This is the raw product-space view that
 // all analyses are derived from; use it to audit which paths exist and
 // under which failure regimes they activate.
-func (v *Verifier) ForwardingClasses(srcRouter string) ([]ForwardingClass, error) {
+func (v *Verifier) ForwardingClasses(srcRouter string) (out []ForwardingClass, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, ok := v.net.Topology.RouterByName(srcRouter)
 	if !ok {
 		return nil, fmt.Errorf("sre: unknown router %q", srcRouter)
 	}
-	m := v.pipe.Sp.M
 	nLinks := v.net.Topology.NumLinks()
-	linkVars := v.pipe.Sp.LinkVars()
-	var out []ForwardingClass
-	for _, pf := range v.pipe.PFECs(s) {
-		names := make([]string, len(pf.Path))
-		for i, r := range pf.Path {
-			names[i] = v.net.Topology.Name(r)
-		}
-		hdr := v.pipe.Sp.HeaderOnly(pf.Pred)
-		topo := v.pipe.Sp.TopoOnly(pf.Pred)
-		// Min failures: fewest down-links in any satisfying scenario =
-		// shortest dashed path to True on the topology projection.
-		minFail := 0
-		if topo != bdd.True {
-			if down, ok := minDownToSatisfy(v, topo); ok {
-				minFail = down
+	for _, pipe := range v.allPipes() {
+		m := pipe.Sp.M
+		for _, pf := range pipe.PFECs(s) {
+			names := make([]string, len(pf.Path))
+			for i, r := range pf.Path {
+				names[i] = v.net.Topology.Name(r)
 			}
+			hdr := pipe.Sp.HeaderOnly(pf.Pred)
+			topo := pipe.Sp.TopoOnly(pf.Pred)
+			// Min failures: fewest down-links in any satisfying scenario =
+			// shortest dashed path to True on the topology projection.
+			minFail := 0
+			if topo != bdd.True {
+				if down, ok := minDownToSatisfy(m, topo); ok {
+					minFail = down
+				}
+			}
+			out = append(out, ForwardingClass{
+				Path:        names,
+				Delivered:   pf.Delivered,
+				Packets:     m.SatCount(hdr, symbol.HeaderBits),
+				MinFailures: minFail,
+				Scenarios:   m.SatCount(topo, nLinks),
+			})
 		}
-		out = append(out, ForwardingClass{
-			Path:        names,
-			Delivered:   pf.Delivered,
-			Packets:     m.SatCount(hdr, symbol.HeaderBits),
-			MinFailures: minFail,
-			Scenarios:   m.SatCount(topo, nLinks),
-		})
-		_ = linkVars
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].MinFailures != out[j].MinFailures {
@@ -87,8 +87,7 @@ func (v *Verifier) ForwardingClasses(srcRouter string) ([]ForwardingClass, error
 
 // minDownToSatisfy returns the minimum number of links assigned down on
 // any satisfying assignment of the topology BDD.
-func minDownToSatisfy(v *Verifier, topo bdd.Node) (int, bool) {
-	m := v.pipe.Sp.M
+func minDownToSatisfy(m *bdd.Manager, topo bdd.Node) (int, bool) {
 	sp := m.ShortestPathToFalse(m.Not(topo))
 	if sp == math.MaxInt32 {
 		return 0, false

@@ -16,6 +16,11 @@
 //	sre -config net.txt -reqs reqs.txt check      # verify a requirements file
 //
 // Global flags: -k (failure budget, default 3), -abstract, -noecmp.
+// Resilience flags: -timeout bounds the run's wall-clock time (exit 124
+// on expiry), Ctrl-C cancels cooperatively (exit 130), and -resilient
+// quarantines prefixes that overflow the BDD node table (capped by
+// -nodelimit) and retries them on a degradation ladder instead of
+// failing the whole run.
 // Observability flags: -metrics <file> writes a JSON metrics report,
 // -progress prints live progress lines to stderr, -pprof <addr> serves
 // net/http/pprof. Flags may appear before or after the command. A
@@ -26,11 +31,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -50,6 +58,9 @@ var (
 	metricsPath = flag.String("metrics", "", "write a JSON metrics report to this file")
 	progress    = flag.Bool("progress", false, "print live progress lines to stderr")
 	pprofAddr   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	timeoutFlag = flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 30s; 0 = none)")
+	resilient   = flag.Bool("resilient", false, "degrade gracefully when the BDD node table overflows: quarantine the offending prefix, retry it on the escalation ladder, and complete the rest")
+	nodeLimit   = flag.Int("nodelimit", 0, "BDD node table cap (0 = package default); overflowing it fails the run, or degrades it under -resilient")
 )
 
 func usage() {
@@ -100,9 +111,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Ctrl-C cancels the run cooperatively: the pipeline polls the
+	// context and aborts with ErrCanceled instead of dying mid-write.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stopSignals()
 	tel := sre.NewTelemetry()
 	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
-		Telemetry: tel}
+		Telemetry: tel, Context: ctx, Timeout: *timeoutFlag, Resilient: *resilient,
+		BDDNodeLimit: *nodeLimit}
 	if *progress {
 		opts.Progress = sre.StderrProgress()
 	}
@@ -117,6 +133,14 @@ func main() {
 			fatal(err)
 		}
 		printSpecs(net, specs, *kFlag)
+		if len(specs.Outcomes) > 0 {
+			outs := make([]sre.PrefixOutcome, 0, len(specs.Outcomes))
+			for _, o := range specs.Outcomes {
+				outs = append(outs, o)
+			}
+			sort.Slice(outs, func(i, j int) bool { return outs[i].Prefix.String() < outs[j].Prefix.String() })
+			printOutcomes(outs)
+		}
 	case "diff":
 		if *afterPath == "" {
 			fatal(fmt.Errorf("diff needs -after <file>"))
@@ -136,6 +160,7 @@ func main() {
 			fatal(err)
 		}
 		defer v.Release()
+		printOutcomes(v.Outcomes())
 		exitCode = runQuery(v, cmd, rest)
 	}
 	finish(v, tel, start)
@@ -265,8 +290,34 @@ func need(args []string, n int) {
 }
 
 func fatal(err error) {
+	switch {
+	case errors.Is(err, sre.ErrCanceled):
+		// 130 is the conventional exit status for SIGINT.
+		fmt.Fprintln(os.Stderr, "sre: interrupted:", err)
+		os.Exit(130)
+	case errors.Is(err, sre.ErrDeadline):
+		// 124 matches timeout(1).
+		fmt.Fprintln(os.Stderr, "sre: timed out:", err)
+		os.Exit(124)
+	}
 	fmt.Fprintln(os.Stderr, "sre:", err)
 	os.Exit(1)
+}
+
+// printOutcomes reports, on stderr, every prefix a resilient run had to
+// quarantine, degrade, or give up on. Cleanly verified prefixes stay
+// silent.
+func printOutcomes(outs []sre.PrefixOutcome) {
+	for _, o := range outs {
+		switch {
+		case o.Err != nil:
+			fmt.Fprintf(os.Stderr, "resilience: prefix %s FAILED after rungs %v: %v\n", o.Prefix, o.Rungs, o.Err)
+		case o.Degraded:
+			fmt.Fprintf(os.Stderr, "resilience: prefix %s verified degraded (rungs %v, effective budget %d)\n", o.Prefix, o.Rungs, o.EffectivePruneK)
+		case o.Quarantined:
+			fmt.Fprintf(os.Stderr, "resilience: prefix %s quarantined and re-verified in isolation\n", o.Prefix)
+		}
+	}
 }
 
 func formatTolerance(k, budget int) string {

@@ -21,7 +21,7 @@ func fig13(sc scale) {
 	tolCounts := map[int]int{}
 	for snap := 0; snap < sc.campusSnaps; snap++ {
 		net := workload.Campus(workload.CampusOptions{VLANs: sc.campusVLANs, Snapshot: snap})
-		pipe, err := analysis.Run(net, src.Options{PruneK: 2})
+		pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: 2}))
 		if err != nil {
 			fmt.Printf("  snapshot %d failed: %v\n", snap, err)
 			continue

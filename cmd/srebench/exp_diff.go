@@ -22,7 +22,7 @@ func diffExp(sc scale) {
 	t := newTable("change", "DNA(k=0)", "SRE any-diff(k=3)", "SRE tol-diff", "SRE prob-diff")
 	dnaCount, tolCount, probCount, anyCount := 0, 0, 0, 0
 	model := prob.LinkModel{PDown: pLinkDown}
-	before, err := analysis.Run(base, src.Options{PruneK: 3})
+	before, err := analysis.Run(base, withResilience(src.Options{PruneK: 3}))
 	if err != nil {
 		fmt.Printf("  baseline pipeline failed: %v\n", err)
 		return
@@ -36,7 +36,7 @@ func diffExp(sc scale) {
 		dnaDiffs := dna.Diff()
 		dnaHit := len(dnaDiffs) > 0
 
-		afterPipe, err := analysis.Run(after, src.Options{PruneK: 3})
+		afterPipe, err := analysis.Run(after, withResilience(src.Options{PruneK: 3}))
 		if err != nil {
 			fmt.Printf("  %s: pipeline failed: %v\n", ch.Name, err)
 			continue

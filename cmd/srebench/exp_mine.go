@@ -18,7 +18,7 @@ type workloadNet = config.Network
 type route0 = route.Prefix
 
 // srcOptions builds engine options with the given pruning budget.
-func srcOptions(pruneK int) src.Options { return src.Options{PruneK: pruneK} }
+func srcOptions(pruneK int) src.Options { return withResilience(src.Options{PruneK: pruneK}) }
 
 // fig7 reproduces Figure 7: running time to mine specifications, SRE's
 // stratified miner vs. the Config2Spec-substitute (per-scenario

@@ -42,7 +42,7 @@ func fig10(sc scale) {
 
 // toleranceRun computes all-pairs tolerance at budget k.
 func toleranceRun(net *workloadNet, k int, abstract bool) error {
-	pipe, err := analysis.Run(net, src.Options{PruneK: k, Abstract: abstract})
+	pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: k, Abstract: abstract}))
 	if err != nil {
 		return err
 	}
@@ -123,7 +123,7 @@ func fmtReduction(n int, err error, base int, baseErr error) string {
 // countRoutes runs SRC alone and returns the number of routes imported.
 func countRoutes(net *workloadNet, pruneK int, abstract bool, prefixes []route0, nodeLimit int) (int, error) {
 	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{NodeLimit: nodeLimit}, 0)
-	eng := src.NewWithSpace(net, sp, src.Options{PruneK: pruneK, Abstract: abstract, Prefixes: prefixes})
+	eng := src.NewWithSpace(net, sp, withResilience(src.Options{PruneK: pruneK, Abstract: abstract, Prefixes: prefixes}))
 	if err := eng.Run(); err != nil {
 		if errors.Is(err, bdd.ErrNodeLimit) {
 			return eng.Statistics().RoutesImported, err
@@ -139,7 +139,7 @@ func countRoutes(net *workloadNet, pruneK int, abstract bool, prefixes []route0,
 func countRoutesNoGC(net *workloadNet, nodeLimit int) (int, error) {
 	sp := symbol.NewSpace(net.Topology.NumLinks(),
 		bdd.Config{NodeLimit: nodeLimit, DisableGC: true}, 0)
-	eng := src.NewWithSpace(net, sp, src.Options{PruneK: -1})
+	eng := src.NewWithSpace(net, sp, withResilience(src.Options{PruneK: -1}))
 	if err := eng.Run(); err != nil {
 		if errors.Is(err, bdd.ErrNodeLimit) {
 			return eng.Statistics().RoutesImported, err
@@ -177,7 +177,7 @@ func fig11(sc scale) {
 			var errOut error
 			cell, dur := ct.runTimed("ft"+name, func() {
 				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
-				pipe, err := analysis.RunWithSpace(net, sp, src.Options{PruneK: k, Abstract: true})
+				pipe, err := analysis.RunWithSpace(net, sp, withResilience(src.Options{PruneK: k, Abstract: true}))
 				if err != nil {
 					errOut = err
 					st = sp.M.Statistics()

@@ -45,7 +45,7 @@ func fig8(sc scale) {
 		}
 		var sreSingle, ndSingle float64
 		sreSingleT := ct.run("sre1", func() {
-			pipe, err := analysis.Run(net, src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}})
+			pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}}))
 			if err != nil {
 				fmt.Printf("  SRE error: %v\n", err)
 				return
@@ -60,7 +60,7 @@ func fig8(sc scale) {
 		})
 		var deltas float64
 		sreAllT := ct.run("sreN", func() {
-			pipe, err := analysis.Run(net, src.Options{PruneK: kBudget})
+			pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: kBudget}))
 			if err != nil {
 				fmt.Printf("  SRE error: %v\n", err)
 				return
@@ -108,7 +108,7 @@ func nodeFailurePanel(net *workloadNet, ct *cellTimer) {
 	var sreP, ndP float64
 	t := newTable("system", "time", "probability")
 	sreT := ct.run("sre-node", func() {
-		pipe, err := analysis.Run(net, src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}})
+		pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}}))
 		if err != nil {
 			return
 		}
@@ -154,7 +154,7 @@ func fig14(sc scale) {
 		kBudget := prob.KForImprecision(net.Topology.NumLinks(), pLinkDown, imprecision)
 		var sreP, ndP, srePn float64
 		sreT := ct.run("sre", func() {
-			pipe, err := analysis.Run(net, src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}})
+			pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: kBudget, Prefixes: []route.Prefix{pfx}}))
 			if err != nil {
 				return
 			}

@@ -47,7 +47,7 @@ func reachDatasets(sc scale) []struct {
 // sreAllPairs runs the full SRE pipeline and checks all-pairs
 // reachability under budget k.
 func sreAllPairs(net *config.Network, k int, abstract bool) (map[analysis.PairKey]bool, error) {
-	pipe, err := analysis.Run(net, src.Options{PruneK: k, Abstract: abstract})
+	pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: k, Abstract: abstract}))
 	if err != nil {
 		return nil, err
 	}
@@ -110,8 +110,8 @@ func fig6(sc scale) {
 		ct := newCellTimer()
 		for k := 0; k <= sc.maxK; k++ {
 			sreT := ct.run("sre", func() {
-				pipe, err := analysis.Run(net, src.Options{PruneK: k,
-					Prefixes: prefixes[len(prefixes)-1:]})
+				pipe, err := analysis.Run(net, withResilience(src.Options{PruneK: k,
+					Prefixes: prefixes[len(prefixes)-1:]}))
 				if err == nil {
 					pipe.PairReachable(srcID, pfx, k)
 					pipe.Release()

@@ -23,6 +23,9 @@ import (
 	"path/filepath"
 	"strings"
 	"time"
+
+	"sre/internal/resil"
+	"sre/internal/src"
 )
 
 var (
@@ -31,7 +34,15 @@ var (
 	budget     = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
 	seedFlag   = flag.Int64("seed", 1, "base seed for randomized selections")
 	metricsDir = flag.String("metricsdir", "", "write BENCH_<exp>.json files with per-cell metrics into this directory")
+	deadline   = flag.Duration("deadline", 0, "hard per-cell wall-clock deadline enforced inside the symbolic pipeline; an expired cell aborts with a deadline error instead of running away (0 = none). Unlike -budget, which skips future cells, -deadline interrupts a running one.")
 )
+
+// withResilience arms the -deadline budget on engine options. Each call
+// creates a fresh checker, so the deadline applies per measured cell.
+func withResilience(o src.Options) src.Options {
+	o.Interrupt = resil.NewChecker(nil, *deadline, 0).Fn()
+	return o
+}
 
 // benchRow is one measured cell of an experiment, written to
 // BENCH_<exp>.json when -metricsdir is given.

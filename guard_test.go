@@ -1,0 +1,77 @@
+package sre
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"sre/internal/bdd"
+	"sre/internal/resil"
+)
+
+// TestGuardPanicFirewall checks the facade guard: an arbitrary panic
+// behind a public entry point becomes ErrInternal carrying the stage and
+// the panic payload, never a crash.
+func TestGuardPanicFirewall(t *testing.T) {
+	err := func() (err error) {
+		defer guard("analysis", nil, &err)
+		panic("symbolic state corrupted")
+	}()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("err = %v, want ErrInternal", err)
+	}
+	if ErrStage(err) != "analysis" {
+		t.Errorf("ErrStage = %q, want %q", ErrStage(err), "analysis")
+	}
+	if !strings.Contains(err.Error(), "symbolic state corrupted") {
+		t.Errorf("error %q should carry the panic payload", err)
+	}
+}
+
+// TestGuardPassesResourceErrors checks that the guard recognises
+// resource-limit and interruption panics from the BDD layer and rewraps
+// them as their typed errors instead of ErrInternal.
+func TestGuardPassesResourceErrors(t *testing.T) {
+	limitErr := fmt.Errorf("table full: %w", bdd.ErrNodeLimit)
+	err := func() (err error) {
+		defer guard("verify", nil, &err)
+		panic(limitErr)
+	}()
+	if !errors.Is(err, ErrBDDLimit) {
+		t.Fatalf("err = %v, want ErrBDDLimit", err)
+	}
+	if errors.Is(err, ErrInternal) {
+		t.Error("a node-limit overflow is not an internal error")
+	}
+	if ErrStage(err) != "verify" {
+		t.Errorf("ErrStage = %q, want %q", ErrStage(err), "verify")
+	}
+
+	cancelErr := resil.Stage("src", resil.ErrCanceled)
+	err = func() (err error) {
+		defer guard("analysis", nil, &err)
+		panic(cancelErr)
+	}()
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, ErrInternal) {
+		t.Error("cancellation is not an internal error")
+	}
+	// The innermost stage wins: the panic was born in SRC.
+	if ErrStage(err) != "src" {
+		t.Errorf("ErrStage = %q, want %q", ErrStage(err), "src")
+	}
+}
+
+// TestGuardNoop leaves a clean return untouched.
+func TestGuardNoop(t *testing.T) {
+	err := func() (err error) {
+		defer guard("analysis", nil, &err)
+		return nil
+	}()
+	if err != nil {
+		t.Fatalf("guard invented an error: %v", err)
+	}
+}

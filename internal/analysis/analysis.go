@@ -16,6 +16,7 @@ import (
 	"sre/internal/config"
 	"sre/internal/obs"
 	"sre/internal/prob"
+	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/spf"
 	"sre/internal/src"
@@ -46,6 +47,14 @@ type Pipeline struct {
 	// Tel is the telemetry the pipeline ran with (nil when disabled),
 	// taken from the engine options.
 	Tel *obs.Telemetry
+
+	// Scope, when non-nil, restricts the pipeline to packets whose
+	// destination lies inside this prefix: symbolic forwarding injects
+	// only scope's headers and OwnedHeaders intersects with it. Scoped
+	// pipelines are produced by the degradation ladder's split-headers
+	// rung (RunScoped); property results are exact for the scoped
+	// header space and must be combined across the sibling scopes.
+	Scope *route.Prefix
 }
 
 // MaxRiskGroups is the number of shared-risk-group variables reserved
@@ -57,14 +66,34 @@ const MaxRiskGroups = 32
 // router (node-failure analyses) plus MaxRiskGroups shared-risk
 // variables.
 func Run(net *config.Network, opts src.Options) (*Pipeline, error) {
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{Telemetry: opts.Telemetry},
+	return runPipeline(net, newRunSpace(net, opts), opts, nil)
+}
+
+// newRunSpace allocates the symbolic space Run (and RunScoped) builds
+// pipelines over, honoring the node limit and interrupt hook of opts.
+func newRunSpace(net *config.Network, opts src.Options) *symbol.Space {
+	return symbol.NewSpace(net.Topology.NumLinks(),
+		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
+			Interrupt: opts.Interrupt},
 		net.Topology.NumRouters()+MaxRiskGroups)
-	return RunWithSpace(net, sp, opts)
 }
 
 // RunWithSpace is Run with a caller-provided symbolic space.
 func RunWithSpace(net *config.Network, sp *symbol.Space, opts src.Options) (*Pipeline, error) {
-	p := &Pipeline{Net: net, Sp: sp, Tel: opts.Telemetry}
+	return runPipeline(net, sp, opts, nil)
+}
+
+// RunScoped is Run restricted to packets destined inside scope: SRC
+// still computes routes for opts.Prefixes, but symbolic forwarding
+// injects only scope's header space, bounding the size of the PFEC
+// predicates. The degradation ladder uses it to push an overloaded
+// prefix through in halves.
+func RunScoped(net *config.Network, opts src.Options, scope route.Prefix) (*Pipeline, error) {
+	return runPipeline(net, newRunSpace(net, opts), opts, &scope)
+}
+
+func runPipeline(net *config.Network, sp *symbol.Space, opts src.Options, scope *route.Prefix) (*Pipeline, error) {
+	p := &Pipeline{Net: net, Sp: sp, Tel: opts.Telemetry, Scope: scope}
 	root := p.Tel.Start("pipeline")
 	defer root.End()
 
@@ -83,6 +112,15 @@ func RunWithSpace(net *config.Network, sp *symbol.Space, opts src.Options) (*Pip
 	}
 	srcSpan.End()
 
+	// Stage boundary: a run canceled while SRC was finishing must not
+	// start forwarding. The same hook is polled inside BDD operations,
+	// but the boundary check makes the abort deterministic.
+	if opts.Interrupt != nil {
+		if ierr := opts.Interrupt(); ierr != nil {
+			return nil, resil.Stage("spf", ierr)
+		}
+	}
+
 	spfSpan := root.Start("spf")
 	start = time.Now()
 	fw, err := spf.NewForwarder(p.Eng)
@@ -90,11 +128,26 @@ func RunWithSpace(net *config.Network, sp *symbol.Space, opts src.Options) (*Pip
 		return nil, err
 	}
 	p.Fw = fw
+	var scopeHdr bdd.Node
+	if scope != nil {
+		scopeHdr = sp.Prefix(*scope) // cached and referenced by the space
+	}
 	n := net.Topology.NumRouters()
 	p.pfecs = make([][]*spf.PFEC, n)
 	total := 0
 	for r := 0; r < n; r++ {
-		pf, err := fw.Forward(topology.RouterID(r))
+		if opts.Interrupt != nil {
+			if ierr := opts.Interrupt(); ierr != nil {
+				return nil, resil.Stage("spf", ierr)
+			}
+		}
+		var pf []*spf.PFEC
+		var err error
+		if scope != nil {
+			pf, err = fw.ForwardHeaders(topology.RouterID(r), scopeHdr)
+		} else {
+			pf, err = fw.Forward(topology.RouterID(r))
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -191,7 +244,9 @@ func (p *Pipeline) OriginSet(pfx route.Prefix) map[topology.RouterID]bool {
 }
 
 // OwnedHeaders returns the header BDD of the addresses for which pfx is
-// the longest originated prefix.
+// the longest originated prefix, intersected with the pipeline's scope
+// when it has one (scoped pipelines only know the forwarding behaviour
+// of their slice of the header space).
 func (p *Pipeline) OwnedHeaders(pfx route.Prefix) bdd.Node {
 	m := p.Sp.M
 	hdr := p.Sp.Prefix(pfx)
@@ -199,6 +254,9 @@ func (p *Pipeline) OwnedHeaders(pfx route.Prefix) bdd.Node {
 		if other != pfx && pfx.Covers(other) {
 			hdr = m.Diff(hdr, p.Sp.Prefix(other))
 		}
+	}
+	if p.Scope != nil {
+		hdr = m.And(hdr, p.Sp.Prefix(*p.Scope))
 	}
 	return hdr
 }

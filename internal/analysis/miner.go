@@ -40,6 +40,15 @@ type Miner struct {
 	// mining of each (src, prefix) pair.
 	Waypoint func(s topology.RouterID, pfx route.Prefix) (topology.RouterID, bool)
 
+	// Resilient enables graceful degradation: a stratum whose BDD node
+	// table overflows quarantines the offending prefixes and retries
+	// them through the escalation ladder (without budget halving — a
+	// stratum-k verdict is only sound at budget exactly k) instead of
+	// aborting the whole mining run. Prefixes that still fail are
+	// reported in Specs.Outcomes with their surviving pairs marked in
+	// Specs.DegradedPairs; all other prefixes mine normally.
+	Resilient bool
+
 	// StrataTimes records the wall time of each stratum.
 	StrataTimes []time.Duration
 }
@@ -65,6 +74,15 @@ type Specs struct {
 	// LoadBalance maps pairs to the number of simultaneous forwarding
 	// paths under no failures.
 	LoadBalance map[PairKey]int
+	// Outcomes reports per-prefix resilience outcomes (resilient
+	// mining only): prefixes that were quarantined, degraded, or
+	// failed at some stratum, merged across strata. Empty maps mean a
+	// fully clean run.
+	Outcomes map[route.Prefix]PrefixOutcome
+	// DegradedPairs marks pairs whose ReachTolerance is a lower bound:
+	// their prefix exhausted the escalation ladder at the stratum that
+	// would have decided them, so only "tolerance ≥ value" is known.
+	DegradedPairs map[PairKey]bool
 }
 
 // Mine runs the stratified mining loop.
@@ -79,6 +97,8 @@ func (mn *Miner) Mine() (*Specs, error) {
 		ReachTolerance:    make(map[PairKey]int),
 		WaypointTolerance: make(map[PairKey]int),
 		LoadBalance:       make(map[PairKey]int),
+		Outcomes:          make(map[route.Prefix]PrefixOutcome),
+		DegradedPairs:     make(map[PairKey]bool),
 	}
 	prefixes := mn.Net.AllPrefixes()
 	origins := make(map[route.Prefix][]topology.RouterID, len(prefixes))
@@ -140,16 +160,42 @@ func (mn *Miner) Mine() (*Specs, error) {
 		stratumSpan.SetAttr("prefixes", len(prefixSet))
 		opts := mn.SrcOpts
 		opts.PruneK = k
+		domain := sortedPrefixes(mn.expandForAggregates(prefixSet))
 		if !mn.DisablePrefixPruning {
-			opts.Prefixes = sortedPrefixes(mn.expandForAggregates(prefixSet))
+			opts.Prefixes = domain
 		}
-		pipe, err := Run(mn.Net, opts)
+		// Resilient mode runs the stratum partitioned: a node-table
+		// overflow quarantines the offending prefixes (retried through
+		// the ladder, without budget halving) instead of aborting.
+		var pt *Partitioned
+		var pipe *Pipeline
+		var err error
+		if mn.Resilient {
+			pt, err = RunPartitioned(mn.Net, opts, domain, LadderOptions{DisableBudgetHalving: true})
+		} else {
+			pipe, err = Run(mn.Net, opts)
+		}
 		if err != nil {
 			stratumSpan.End()
 			return nil, fmt.Errorf("stratum %d: %w", k, err)
 		}
-		budget := pipe.Sp.AtMostKLinkFailures(k)
-		m := pipe.Sp.M
+		// A pair's property may span several pipelines after the
+		// split-headers rung; budgets are per-space, cached per pipe.
+		budgets := make(map[*Pipeline]bdd.Node)
+		budgetOf := func(p *Pipeline) bdd.Node {
+			b, ok := budgets[p]
+			if !ok {
+				b = p.Sp.AtMostKLinkFailures(k)
+				budgets[p] = b
+			}
+			return b
+		}
+		pipesFor := func(pfx route.Prefix) []*Pipeline {
+			if pt != nil {
+				return pt.PipelinesFor(pfx)
+			}
+			return []*Pipeline{pipe}
+		}
 		pairTotal := len(undecided)
 		pairDone := 0
 		for key := range undecided {
@@ -159,18 +205,46 @@ func (mn *Miner) Mine() (*Specs, error) {
 					Done: int64(pairDone), Total: int64(pairTotal), Unit: "pairs",
 					Detail: fmt.Sprintf("stratum %d", k), Final: pairDone == pairTotal})
 			}
-			hdr := pipe.OwnedHeaders(key.Prefix)
-			dst := pipe.OriginSet(key.Prefix)
-			prop := pipe.ReachBDD(key.Src, dst, hdr)
-			// Violated iff some (packet, scenario) within budget is
-			// not covered by the property.
-			violated := m.Diff(m.And(hdr, budget), prop) != bdd.False
-			if mn.Waypoint != nil {
-				if _, done := specs.WaypointTolerance[key]; !done {
-					if w, ok := mn.Waypoint(key.Src, key.Prefix); ok {
-						wprop := pipe.WaypointBDD(key.Src, dst, w, hdr)
-						if m.Diff(m.And(hdr, budget), wprop) != bdd.False {
+			if pt != nil {
+				if out := pt.Outcome(key.Prefix); out != nil && out.Err != nil {
+					// The prefix exhausted the ladder at this stratum.
+					// Its pairs survived stratum k-1, so k-1 is a sound
+					// lower bound; record it and mark them degraded.
+					specs.ReachTolerance[key] = k - 1
+					specs.DegradedPairs[key] = true
+					if mn.Waypoint != nil {
+						if _, done := specs.WaypointTolerance[key]; !done {
 							specs.WaypointTolerance[key] = k - 1
+						}
+					}
+					delete(undecided, key)
+					telDecided.Inc()
+					continue
+				}
+			}
+			violated := false
+			reachEmpty := true
+			for _, pipe := range pipesFor(key.Prefix) {
+				m := pipe.Sp.M
+				budget := budgetOf(pipe)
+				hdr := pipe.OwnedHeaders(key.Prefix)
+				dst := pipe.OriginSet(key.Prefix)
+				prop := pipe.ReachBDD(key.Src, dst, hdr)
+				if prop != bdd.False {
+					reachEmpty = false
+				}
+				// Violated iff some (packet, scenario) within budget is
+				// not covered by the property.
+				if m.Diff(m.And(hdr, budget), prop) != bdd.False {
+					violated = true
+				}
+				if mn.Waypoint != nil {
+					if _, done := specs.WaypointTolerance[key]; !done {
+						if w, ok := mn.Waypoint(key.Src, key.Prefix); ok {
+							wprop := pipe.WaypointBDD(key.Src, dst, w, hdr)
+							if m.Diff(m.And(hdr, budget), wprop) != bdd.False {
+								specs.WaypointTolerance[key] = k - 1
+							}
 						}
 					}
 				}
@@ -179,16 +253,29 @@ func (mn *Miner) Mine() (*Specs, error) {
 				specs.ReachTolerance[key] = k - 1
 				delete(undecided, key)
 				telDecided.Inc()
-				if prop == bdd.False {
+				if reachEmpty {
 					isolationCandidates = append(isolationCandidates, key)
 				}
 				continue
 			}
 			if k == 0 {
-				specs.LoadBalance[key] = pipe.LoadBalancePaths(key.Src, dst, hdr)
+				// Across scoped sibling pipelines the per-half path
+				// counts cannot be unioned (PFECs live in different
+				// managers); the max is a sound lower bound.
+				for _, pipe := range pipesFor(key.Prefix) {
+					dst := pipe.OriginSet(key.Prefix)
+					if n := pipe.LoadBalancePaths(key.Src, dst, pipe.OwnedHeaders(key.Prefix)); n > specs.LoadBalance[key] {
+						specs.LoadBalance[key] = n
+					}
+				}
 			}
 		}
-		pipe.Release()
+		if pt != nil {
+			mergeOutcomes(specs, pt)
+			pt.Release()
+		} else {
+			pipe.Release()
+		}
 		mn.StrataTimes = append(mn.StrataTimes, time.Since(start))
 		stratumSpan.End()
 	}
@@ -230,6 +317,31 @@ func (mn *Miner) confirmIsolation(specs *Specs, candidates []PairKey) error {
 	opts := mn.SrcOpts
 	opts.PruneK = mn.KMax
 	opts.Prefixes = sortedPrefixes(mn.expandForAggregates(prefixSet))
+	if mn.Resilient {
+		pt, err := RunPartitioned(mn.Net, opts, opts.Prefixes, LadderOptions{DisableBudgetHalving: true})
+		if err != nil {
+			return fmt.Errorf("isolation confirmation: %w", err)
+		}
+		defer pt.Release()
+		mergeOutcomes(specs, pt)
+		for _, key := range candidates {
+			pipes := pt.PipelinesFor(key.Prefix)
+			if len(pipes) == 0 {
+				continue // prefix failed: isolation cannot be confirmed
+			}
+			isolated := true
+			for _, pipe := range pipes {
+				if pipe.ReachBDD(key.Src, pipe.OriginSet(key.Prefix), pipe.OwnedHeaders(key.Prefix)) != bdd.False {
+					isolated = false
+					break
+				}
+			}
+			if isolated {
+				specs.Isolated = append(specs.Isolated, key)
+			}
+		}
+		return nil
+	}
 	pipe, err := Run(mn.Net, opts)
 	if err != nil {
 		return fmt.Errorf("isolation confirmation: %w", err)
@@ -242,6 +354,32 @@ func (mn *Miner) confirmIsolation(specs *Specs, candidates []PairKey) error {
 		}
 	}
 	return nil
+}
+
+// mergeOutcomes folds one partitioned run's resilience outcomes into
+// the spec summary: flags accumulate across strata, rungs concatenate,
+// and the first error per prefix wins.
+func mergeOutcomes(specs *Specs, pt *Partitioned) {
+	for _, o := range pt.Outcomes() {
+		if !o.Quarantined && !o.Degraded && o.Err == nil {
+			continue
+		}
+		prev, ok := specs.Outcomes[o.Prefix]
+		if !ok {
+			specs.Outcomes[o.Prefix] = o
+			continue
+		}
+		prev.Quarantined = prev.Quarantined || o.Quarantined
+		prev.Degraded = prev.Degraded || o.Degraded
+		prev.Rungs = append(prev.Rungs, o.Rungs...)
+		if prev.Err == nil {
+			prev.Err = o.Err
+		}
+		if o.EffectivePruneK < prev.EffectivePruneK {
+			prev.EffectivePruneK = o.EffectivePruneK
+		}
+		specs.Outcomes[o.Prefix] = prev
+	}
 }
 
 // expandForAggregates widens a prefix set with the originated

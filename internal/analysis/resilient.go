@@ -1,0 +1,308 @@
+package analysis
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/resil"
+	"sre/internal/route"
+	"sre/internal/src"
+)
+
+// Escalation-ladder rung names, recorded per prefix in
+// PrefixOutcome.Rungs in the order they were climbed.
+const (
+	RungAbstract     = "abstract"      // enable AS-path abstraction (§7.3)
+	RungHalveBudget  = "halve-budget"  // halve the failure budget (PruneK)
+	RungSplitHeaders = "split-headers" // split the prefix's header space
+)
+
+// PrefixOutcome reports how one prefix of a partitioned run fared.
+type PrefixOutcome struct {
+	Prefix route.Prefix
+	// Err is non-nil when the prefix exhausted the escalation ladder
+	// and could not be verified; the rest of the run still completed.
+	Err error
+	// Quarantined marks prefixes that overflowed the node limit in a
+	// shared group and were retried in isolation.
+	Quarantined bool
+	// Degraded marks prefixes verified with weaker settings than
+	// requested (any ladder rung); Rungs lists the rungs applied.
+	Degraded bool
+	Rungs    []string
+	// EffectivePruneK is the failure budget the prefix was actually
+	// verified with; it differs from the requested budget only after
+	// the halve-budget rung.
+	EffectivePruneK int
+}
+
+// Partitioned is the result of a resilient multi-prefix run: one or
+// more pipelines, each covering a subset of the requested prefixes,
+// plus a per-prefix outcome map. Prefixes that could not be verified
+// have an outcome with Err set and no pipeline.
+type Partitioned struct {
+	// Groups holds every live pipeline, in creation order.
+	Groups []*Pipeline
+	// outcomes and byPrefix are keyed by the requested prefixes.
+	outcomes map[route.Prefix]*PrefixOutcome
+	byPrefix map[route.Prefix][]*Pipeline
+}
+
+// Outcome returns the outcome of a requested prefix, or nil when the
+// prefix was not part of the run.
+func (pt *Partitioned) Outcome(pfx route.Prefix) *PrefixOutcome {
+	return pt.outcomes[pfx]
+}
+
+// Outcomes returns all per-prefix outcomes, sorted by prefix.
+func (pt *Partitioned) Outcomes() []PrefixOutcome {
+	out := make([]PrefixOutcome, 0, len(pt.outcomes))
+	for _, o := range pt.outcomes {
+		out = append(out, *o)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Prefix.Addr != out[j].Prefix.Addr {
+			return out[i].Prefix.Addr < out[j].Prefix.Addr
+		}
+		return out[i].Prefix.Len < out[j].Prefix.Len
+	})
+	return out
+}
+
+// PipelinesFor returns the pipelines covering pfx: usually one, two
+// after the split-headers rung (each scoped to half the header space),
+// nil when the prefix failed or was not requested. Queries over pfx
+// must combine results across all returned pipelines (min for
+// tolerances, max for path counts).
+func (pt *Partitioned) PipelinesFor(pfx route.Prefix) []*Pipeline {
+	return pt.byPrefix[pfx]
+}
+
+// Failed reports whether any prefix exhausted the ladder.
+func (pt *Partitioned) Failed() bool {
+	for _, o := range pt.outcomes {
+		if o.Err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Release frees every pipeline of the partitioned run.
+func (pt *Partitioned) Release() {
+	for _, p := range pt.Groups {
+		p.Release()
+	}
+	pt.Groups = nil
+	pt.byPrefix = nil
+}
+
+// LadderOptions tunes the escalation ladder of RunPartitioned.
+type LadderOptions struct {
+	// DisableBudgetHalving skips the halve-budget rung. The miner sets
+	// it: a stratum-k verdict is only sound at budget exactly k, so
+	// trading budget for memory would corrupt the stratification.
+	DisableBudgetHalving bool
+}
+
+// RunPartitioned executes a multi-prefix analysis resiliently: all
+// prefixes are first attempted in one pipeline; when the BDD node
+// table overflows, the prefix set is bisected and retried so the
+// overflow is isolated to the offending prefix(es), and each offender
+// is pushed through an escalation ladder — enable Abstract, halve the
+// failure budget, split the prefix's header space — before being
+// marked failed. The run always completes with per-prefix outcomes
+// unless it is canceled, times out, or hits a non-resource error,
+// which aborts the whole run.
+//
+// opts.Prefixes is ignored; the explicit prefixes argument is the
+// partitioning domain. Telemetry counters: resilience.retries (group
+// bisections and ladder attempts), resilience.quarantined (prefixes
+// isolated after a shared overflow), resilience.degraded (prefixes
+// verified on a ladder rung), resilience.failed (prefixes that
+// exhausted the ladder).
+func RunPartitioned(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions) (*Partitioned, error) {
+	pt := &Partitioned{
+		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),
+		byPrefix: make(map[route.Prefix][]*Pipeline, len(prefixes)),
+	}
+	tel := opts.Telemetry
+	telRetries := tel.Counter("resilience.retries")
+	telQuarantined := tel.Counter("resilience.quarantined")
+	telDegraded := tel.Counter("resilience.degraded")
+	telFailed := tel.Counter("resilience.failed")
+	for _, pfx := range prefixes {
+		pt.outcomes[pfx] = &PrefixOutcome{Prefix: pfx, EffectivePruneK: opts.PruneK}
+	}
+
+	emit := func(detail string) {
+		if tel.Active() {
+			tel.Emit(obs.Event{Stage: "resilience", Detail: detail})
+		}
+	}
+
+	// recoverable reports whether err should trigger degradation (node
+	// table overflow) as opposed to aborting the run (cancellation,
+	// deadline, non-convergence, config errors).
+	recoverable := func(err error) bool {
+		return errors.Is(err, bdd.ErrNodeLimit) && !resil.Interruption(err)
+	}
+
+	addGroup := func(pipe *Pipeline, group []route.Prefix) {
+		pt.Groups = append(pt.Groups, pipe)
+		for _, pfx := range group {
+			pt.byPrefix[pfx] = append(pt.byPrefix[pfx], pipe)
+		}
+	}
+
+	// escalate pushes one overflowing prefix through the ladder.
+	escalate := func(pfx route.Prefix, firstErr error) error {
+		out := pt.outcomes[pfx]
+		out.Quarantined = true
+		telQuarantined.Inc()
+		lastErr := firstErr
+
+		attempt := func(rung string, o src.Options, scope *route.Prefix) (bool, error) {
+			telRetries.Inc()
+			out.Rungs = append(out.Rungs, rung)
+			emit(fmt.Sprintf("prefix %s: retrying on rung %q", pfx, rung))
+			o.Prefixes = []route.Prefix{pfx}
+			var pipe *Pipeline
+			var err error
+			if scope != nil {
+				pipe, err = RunScoped(net, o, *scope)
+			} else {
+				pipe, err = Run(net, o)
+			}
+			if err == nil {
+				addGroup(pipe, []route.Prefix{pfx})
+				return true, nil
+			}
+			if !recoverable(err) {
+				return false, err // abort the whole run
+			}
+			lastErr = err
+			return false, nil
+		}
+
+		done := func(k int) {
+			out.Degraded = true
+			out.EffectivePruneK = k
+			telDegraded.Inc()
+		}
+
+		// Rung 1: AS-path abstraction merges parallel routes, often an
+		// order-of-magnitude node saving on fabrics (§7.3).
+		o := opts
+		if !o.Abstract {
+			o.Abstract = true
+			if ok, err := attempt(RungAbstract, o, nil); err != nil {
+				return err
+			} else if ok {
+				done(o.PruneK)
+				return nil
+			}
+		} else {
+			o.Abstract = true
+		}
+
+		// Rung 2: halve the failure budget (repeatedly, down to 0).
+		// Results become sound only for the smaller budget, so the
+		// miner disables this rung.
+		if !lad.DisableBudgetHalving {
+			for k := o.PruneK / 2; o.PruneK > 0; k /= 2 {
+				o.PruneK = k
+				if ok, err := attempt(RungHalveBudget, o, nil); err != nil {
+					return err
+				} else if ok {
+					done(k)
+					return nil
+				}
+				if k == 0 {
+					break
+				}
+			}
+		}
+
+		// Rung 3: split the header space — two scoped pipelines, each
+		// forwarding only half of the prefix's addresses. Both halves
+		// must succeed for the prefix to count as verified.
+		if lo, hi, ok := pfx.Halves(); ok {
+			out.Rungs = append(out.Rungs, RungSplitHeaders)
+			var halves []*Pipeline
+			failed := false
+			for _, half := range []route.Prefix{lo, hi} {
+				telRetries.Inc()
+				emit(fmt.Sprintf("prefix %s: retrying scoped to %s", pfx, half))
+				ho := o
+				ho.Prefixes = []route.Prefix{pfx}
+				pipe, err := RunScoped(net, ho, half)
+				if err != nil {
+					if !recoverable(err) {
+						for _, p := range halves {
+							p.Release()
+						}
+						return err
+					}
+					lastErr = err
+					failed = true
+					break
+				}
+				halves = append(halves, pipe)
+			}
+			if !failed {
+				pt.Groups = append(pt.Groups, halves...)
+				pt.byPrefix[pfx] = append(pt.byPrefix[pfx], halves...)
+				done(o.PruneK)
+				return nil
+			}
+			for _, p := range halves {
+				p.Release()
+			}
+		}
+
+		out.Err = lastErr
+		telFailed.Inc()
+		emit(fmt.Sprintf("prefix %s: failed after %d rungs: %v", pfx, len(out.Rungs), lastErr))
+		return nil
+	}
+
+	// runGroup attempts a prefix group in one pipeline, bisecting on
+	// overflow until singletons reach the ladder.
+	var runGroup func(group []route.Prefix) error
+	runGroup = func(group []route.Prefix) error {
+		o := opts
+		o.Prefixes = group
+		pipe, err := Run(net, o)
+		if err == nil {
+			addGroup(pipe, group)
+			return nil
+		}
+		if !recoverable(err) {
+			return err
+		}
+		if len(group) == 1 {
+			return escalate(group[0], err)
+		}
+		telRetries.Inc()
+		emit(fmt.Sprintf("node limit with %d prefixes: bisecting", len(group)))
+		mid := len(group) / 2
+		if err := runGroup(group[:mid]); err != nil {
+			return err
+		}
+		return runGroup(group[mid:])
+	}
+
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("analysis: partitioned run needs at least one prefix")
+	}
+	if err := runGroup(prefixes); err != nil {
+		pt.Release()
+		return nil, err
+	}
+	return pt, nil
+}

@@ -56,6 +56,10 @@ type Batfish struct {
 	Net *config.Network
 	// Scenarios counts simulations performed (work metric).
 	Scenarios int
+	// Err records the first simulation failure (a non-convergent
+	// control plane); when set, the enumeration stopped early and the
+	// returned verdicts cover only the scenarios simulated so far.
+	Err error
 }
 
 // AllPairsReachableUnderK reports, for every (source, prefix) pair,
@@ -86,7 +90,11 @@ func (b *Batfish) AllPairsReachableUnderK(k int) map[Pair]bool {
 		}
 	}
 	b.Scenarios += enumerateScenarios(t.NumLinks(), k, func(down []topology.LinkID) bool {
-		res := sim.Simulate(b.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(b.Net, sim.NewScenario(down...))
+		if err != nil {
+			b.Err = err
+			return false
+		}
 		for pair, ok := range holds {
 			if !ok {
 				continue
@@ -111,7 +119,12 @@ func (b *Batfish) SinglePairReachableUnderK(src topology.RouterID, pfx route.Pre
 	}
 	ok := true
 	b.Scenarios += enumerateScenarios(b.Net.Topology.NumLinks(), k, func(down []topology.LinkID) bool {
-		res := sim.Simulate(b.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(b.Net, sim.NewScenario(down...))
+		if err != nil {
+			b.Err = err
+			ok = false
+			return false
+		}
 		if !res.Reachable(src, pfx.Addr, origins) {
 			ok = false
 			return false
@@ -147,7 +160,11 @@ func (b *Batfish) MineSpecs(kMax int) map[Pair]int {
 			if len(down) != k { // strata: only scenarios with exactly k failures
 				return true
 			}
-			res := sim.Simulate(b.Net, sim.NewScenario(down...))
+			res, err := sim.Simulate(b.Net, sim.NewScenario(down...))
+			if err != nil {
+				b.Err = err
+				return false
+			}
 			for pair := range alive {
 				if !res.Reachable(pair.Src, pair.Prefix.Addr, origins[pair.Prefix]) {
 					tolerance[pair] = k - 1

@@ -14,6 +14,9 @@ import (
 // reachability matrix and forwarding paths.
 type DNA struct {
 	Before, After *config.Network
+	// Err records a simulation failure (a non-convergent control
+	// plane); when set, Diff's result is empty and meaningless.
+	Err error
 }
 
 // DNADiff is a difference detected under no failures.
@@ -28,8 +31,16 @@ type DNADiff struct {
 // Diff returns the no-failure differences between the two
 // configurations.
 func (d *DNA) Diff() []DNADiff {
-	resB := sim.Simulate(d.Before, sim.NewScenario())
-	resA := sim.Simulate(d.After, sim.NewScenario())
+	resB, errB := sim.Simulate(d.Before, sim.NewScenario())
+	resA, errA := sim.Simulate(d.After, sim.NewScenario())
+	if errB != nil || errA != nil {
+		if errB != nil {
+			d.Err = errB
+		} else {
+			d.Err = errA
+		}
+		return nil
+	}
 	var out []DNADiff
 	t := d.Before.Topology
 	prefixes := unionPrefixList(d.Before, d.After)

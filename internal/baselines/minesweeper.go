@@ -28,6 +28,10 @@ type Minesweeper struct {
 	// SolverCalls and Simulations count work performed.
 	SolverCalls int
 	Simulations int
+	// Err records the first simulation failure (a non-convergent
+	// control plane); when set, the query aborted and its verdict is
+	// not meaningful.
+	Err error
 }
 
 // ReachableUnderK reports whether src can reach pfx's origins under
@@ -60,7 +64,11 @@ func (ms *Minesweeper) ReachableUnderK(src topology.RouterID, pfx route.Prefix, 
 			}
 		}
 		ms.Simulations++
-		res := sim.Simulate(ms.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(ms.Net, sim.NewScenario(down...))
+		if err != nil {
+			ms.Err = err
+			return false, nil
+		}
 		path := res.DeliveringPath(src, pfx.Addr, origins)
 		if path == nil {
 			return false, down // concrete counterexample

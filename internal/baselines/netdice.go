@@ -25,6 +25,10 @@ type NetDice struct {
 	Imprecision float64
 	// Explorations counts concrete simulations performed.
 	Explorations int
+	// Err records the first simulation failure (a non-convergent
+	// control plane); when set, the exploration stopped early and the
+	// reported lower bound covers only the scenario classes explored.
+	Err error
 }
 
 // Reachability returns (lower bound, imprecision actually left) for the
@@ -47,12 +51,19 @@ func (nd *NetDice) Reachability(src topology.RouterID, pfx route.Prefix) (float6
 	// links are free; weight = probability of the conditioning.
 	var explore func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64)
 	explore = func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64) {
+		if nd.Err != nil {
+			return
+		}
 		if weight < nd.Imprecision {
 			leftover += weight
 			return
 		}
 		nd.Explorations++
-		res := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		if err != nil {
+			nd.Err = err
+			return
+		}
 		hot, delivered := res.HotLinks(src, addr, origins)
 		if !delivered {
 			// Disconnection (or policy drop) under the optimistic
@@ -207,12 +218,19 @@ func (nd *NetDice) reachabilityWithDownNodes(src topology.RouterID, pfx route.Pr
 	}
 	var explore func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64)
 	explore = func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64) {
+		if nd.Err != nil {
+			return
+		}
 		if weight < nd.Imprecision {
 			leftover += weight
 			return
 		}
 		nd.Explorations++
-		res := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		if err != nil {
+			nd.Err = err
+			return
+		}
 		hot, delivered := res.HotLinks(src, addr, origins)
 		if !delivered {
 			return
@@ -295,12 +313,19 @@ func (nd *NetDice) WaypointProbability(src topology.RouterID, pfx route.Prefix, 
 	leftover := 0.0
 	var explore func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64)
 	explore = func(down []topology.LinkID, up map[topology.LinkID]bool, weight float64) {
+		if nd.Err != nil {
+			return
+		}
 		if weight < nd.Imprecision {
 			leftover += weight
 			return
 		}
 		nd.Explorations++
-		res := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		res, err := sim.Simulate(nd.Net, sim.NewScenario(down...))
+		if err != nil {
+			nd.Err = err
+			return
+		}
 		hot, delivered := res.HotLinks(src, addr, origins)
 		if !delivered {
 			return

@@ -64,6 +64,13 @@ type Config struct {
 	// SampleTelemetry calls. Counters accumulate across managers
 	// sharing one registry (the miner creates one manager per stratum).
 	Telemetry *obs.Telemetry
+	// Interrupt, when non-nil, is polled every few thousand node
+	// allocations and apply steps; a non-nil return aborts the
+	// in-flight operation by unwinding to the nearest public entry
+	// point, which reports the error (wrapping it like ErrNodeLimit).
+	// This is how cancellation and deadlines reach the innermost loops
+	// of symbolic execution without a per-operation time syscall.
+	Interrupt func() error
 }
 
 // Default sizing constants.
@@ -98,6 +105,11 @@ type Manager struct {
 	cache     []cacheEntry
 	cacheMask uint32
 	stats     Stats
+
+	// Cooperative interruption: interrupt is Config.Interrupt, intrN
+	// counts operations since the last poll (see pollInterrupt).
+	interrupt func() error
+	intrN     uint32
 
 	// Telemetry handles, all nil when telemetry is disabled (every
 	// obs method is a no-op on a nil handle, so call sites stay
@@ -170,11 +182,12 @@ func New(cfg Config) *Manager {
 		cs <<= 1
 	}
 	m := &Manager{
-		vars:     cfg.Vars,
-		limit:    cfg.NodeLimit,
-		autoGC:   !cfg.DisableGC,
-		cache:    make([]cacheEntry, cs),
-		freeList: -1,
+		vars:      cfg.Vars,
+		limit:     cfg.NodeLimit,
+		autoGC:    !cfg.DisableGC,
+		cache:     make([]cacheEntry, cs),
+		freeList:  -1,
+		interrupt: cfg.Interrupt,
 	}
 	m.cacheMask = uint32(cs - 1)
 	if cfg.Telemetry != nil {
@@ -309,12 +322,38 @@ func (m *Manager) hashNode(lvl, lo, hi int32) int32 {
 	return int32(h & uint32(len(m.hash)-1))
 }
 
+// interruptEvery is how many polled operations elapse between calls to
+// the Interrupt hook. The hook itself amortizes further (resil.Checker
+// touches the clock every DefaultPollInterval calls), so the common
+// path through pollInterrupt is one nil check, one increment, and one
+// compare — negligible against a unique-table probe.
+const interruptEvery = 4096
+
+// pollInterrupt aborts the in-flight operation when the run has been
+// canceled or has exceeded its deadline. The error unwinds as a
+// bddPanic, exactly like a node-table overflow, so every existing
+// protect/recover boundary handles it.
+func (m *Manager) pollInterrupt() {
+	if m.interrupt == nil {
+		return
+	}
+	m.intrN++
+	if m.intrN < interruptEvery {
+		return
+	}
+	m.intrN = 0
+	if err := m.interrupt(); err != nil {
+		panic(bddPanic{err})
+	}
+}
+
 // mk returns the canonical node (lvl, lo, hi), applying the ROBDD
 // reduction rules.
 func (m *Manager) mk(lvl int32, lo, hi Node) Node {
 	if lo == hi {
 		return lo
 	}
+	m.pollInterrupt()
 	b := m.hashNode(lvl, int32(lo), int32(hi))
 	for i := m.hash[b]; i >= 0; i = m.next[i] {
 		if m.lvl[i] == lvl && m.lo[i] == int32(lo) && m.hi[i] == int32(hi) {

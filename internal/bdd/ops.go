@@ -80,6 +80,7 @@ func (m *Manager) OrN(ns ...Node) Node {
 
 // apply computes a binary boolean operation with memoization.
 func (m *Manager) apply(op int32, f, g Node) Node {
+	m.pollInterrupt()
 	// Terminal cases.
 	switch op {
 	case opAnd:

@@ -1,0 +1,42 @@
+package config
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Diagnostic is one parse problem, located by its 1-based line number.
+type Diagnostic struct {
+	Line int
+	Msg  string
+}
+
+func (d Diagnostic) String() string { return fmt.Sprintf("line %d: %s", d.Line, d.Msg) }
+
+// ParseError collects every diagnostic found in one parse. The parser
+// recovers at section boundaries, so a config with several broken
+// sections reports all of them in a single pass instead of one error
+// per edit-compile cycle.
+type ParseError struct {
+	Diags []Diagnostic
+}
+
+func (e *ParseError) Error() string {
+	switch len(e.Diags) {
+	case 0:
+		return "config: parse error"
+	case 1:
+		return "config: " + e.Diags[0].String()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "config: %d errors:", len(e.Diags))
+	for _, d := range e.Diags {
+		b.WriteString("\n  ")
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// maxDiags bounds accumulation so a pathological input cannot produce
+// an unbounded error value; parsing stops once the cap is reached.
+const maxDiags = 50

@@ -1,0 +1,170 @@
+package config
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// Seed corpus: the quick-start network from the package documentation,
+// plus variants that exercise every section kind and the diagnostic
+// paths. The fuzzer mutates these; the property under test is simply
+// that ParseString never panics — every malformed input must surface as
+// a *ParseError (or a Validate error), not a crash.
+var fuzzSeeds = []string{
+	`topology
+  router A
+  router B
+  router C
+  link A B
+  link A C
+  link B C
+end
+
+router C
+  bgp 65003
+    network 128.0.0.0/1
+    network 192.0.0.0/2
+    neighbor A export-map NO192
+  route-map NO192
+    10 deny prefix 192.0.0.0/2
+    20 permit any
+  interface A
+    acl-in deny 192.0.0.0/2
+    acl-in permit any
+end
+
+router A
+  bgp 65001
+end
+
+router B
+  bgp 65002
+end
+`,
+	`topology
+  router A
+  router B
+  link A B
+end
+router A
+  ospf
+    network 10.0.0.0/8
+  interface B
+    cost 5
+    passive
+  static 10.1.0.0/16 via B
+end
+`,
+	`topology
+  router A
+  router A
+  link A A
+end
+`,
+	`topology
+  router A
+end
+router A
+  bgp 1
+    network
+    aggregate
+  route-map M
+    10
+    20 permit prefix
+    30 permit community
+    40 permit set
+end
+`,
+	"topology\nend\nrouter B\nend\n",
+	"router A\nend\n",
+	"topology\n  router A\n  link A\nend\n",
+	"",
+}
+
+// FuzzParseNetwork asserts the config parser is total: any byte string
+// either parses or returns an error, and a returned network survives a
+// Format/Parse round trip without panicking.
+func FuzzParseNetwork(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		net, err := ParseString(text)
+		if err != nil {
+			if net != nil {
+				t.Fatalf("ParseString returned both a network and error %v", err)
+			}
+			return
+		}
+		// A successfully parsed network must format and re-parse.
+		if _, err := ParseString(Format(net)); err != nil {
+			t.Fatalf("re-parse of formatted network failed: %v\ninput: %q", err, text)
+		}
+	})
+}
+
+// TestParseAccumulatesDiagnostics locks in multi-diagnostic behaviour:
+// several independent mistakes are all reported in one pass, each with
+// its line number.
+func TestParseAccumulatesDiagnostics(t *testing.T) {
+	text := `topology
+  router A
+  router B
+  bogus line
+  link A C
+end
+router A
+  bgp not-a-number
+end
+router Z
+end
+router B
+  ospf
+    network 10.0.0.0/8
+end
+`
+	_, err := ParseString(text)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *ParseError, got %T: %v", err, err)
+	}
+	wants := []struct {
+		line int
+		sub  string
+	}{
+		{4, "unexpected \"bogus\""},
+		{5, "unknown router \"C\""},
+		{8, "bad AS number"},
+		{10, "unknown router \"Z\""},
+	}
+	if len(pe.Diags) != len(wants) {
+		t.Fatalf("got %d diagnostics %v, want %d", len(pe.Diags), pe.Diags, len(wants))
+	}
+	for i, w := range wants {
+		d := pe.Diags[i]
+		if d.Line != w.line || !strings.Contains(d.Msg, w.sub) {
+			t.Errorf("diag %d = line %d %q, want line %d containing %q", i, d.Line, d.Msg, w.line, w.sub)
+		}
+	}
+	for _, w := range wants {
+		if !strings.Contains(err.Error(), w.sub) {
+			t.Errorf("error text %q misses %q", err.Error(), w.sub)
+		}
+	}
+}
+
+// TestParseSingleDiagnosticFormat pins the one-error message format to
+// the historical "config: line N: ..." shape.
+func TestParseSingleDiagnosticFormat(t *testing.T) {
+	_, err := ParseString("nope\n")
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if got := err.Error(); !strings.HasPrefix(got, "config: line 1: ") {
+		t.Fatalf("error %q should start with \"config: line 1: \"", got)
+	}
+}

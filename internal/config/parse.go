@@ -57,6 +57,7 @@ type parser struct {
 	line   int
 	net    *Network
 	pushed []string // one-line pushback for implicit block termination
+	diags  []Diagnostic
 }
 
 // pushBack returns fields to the stream so the outer block can consume
@@ -70,8 +71,44 @@ var blockEnders = map[string]bool{
 	"static": true, "interface": true, "route-map": true,
 }
 
+// errStop signals that a diagnostic has already been recorded and the
+// enclosing section should be abandoned; parse() turns it into recovery
+// at the next section boundary rather than aborting the whole parse.
+var errStop = fmt.Errorf("config: section abandoned")
+
 func (p *parser) errf(format string, args ...interface{}) error {
-	return fmt.Errorf("config: line %d: %s", p.line, fmt.Sprintf(format, args...))
+	return p.errAt(p.line, format, args...)
+}
+
+func (p *parser) errAt(line int, format string, args ...interface{}) error {
+	if len(p.diags) < maxDiags {
+		p.diags = append(p.diags, Diagnostic{Line: line, Msg: fmt.Sprintf(format, args...)})
+	}
+	return errStop
+}
+
+// fail returns the accumulated diagnostics as the parse result.
+func (p *parser) fail() (*Network, error) {
+	return nil, &ParseError{Diags: p.diags}
+}
+
+// skipSection consumes lines until the current (broken) section ends —
+// its "end", or the start of the next "router" section, which is pushed
+// back — so one malformed section yields one diagnostic, not a cascade.
+func (p *parser) skipSection() {
+	for {
+		fields, ok := p.next()
+		if !ok {
+			return
+		}
+		switch fields[0] {
+		case "end":
+			return
+		case "router":
+			p.pushBack(fields)
+			return
+		}
+	}
 }
 
 func (p *parser) next() ([]string, bool) {
@@ -96,63 +133,91 @@ func (p *parser) next() ([]string, bool) {
 
 func (p *parser) parse() (*Network, error) {
 	topo := topology.NewTopology()
-	var pendingLinks [][2]string
-	// Phase 1: topology section.
+	type pendingLink struct {
+		a, b string
+		line int
+	}
+	var pendingLinks []pendingLink
+	// Phase 1: topology section. Bad lines are recorded and skipped so
+	// one typo does not hide every later problem.
 	fields, ok := p.next()
 	if !ok || fields[0] != "topology" {
-		return nil, p.errf("expected 'topology' section first")
+		p.errf("expected 'topology' section first")
+		return p.fail()
 	}
-	for {
+topoLoop:
+	for len(p.diags) < maxDiags {
 		fields, ok = p.next()
 		if !ok {
-			return nil, p.errf("unterminated topology section")
+			p.errf("unterminated topology section")
+			return p.fail()
 		}
 		switch fields[0] {
 		case "router":
 			if len(fields) != 2 {
-				return nil, p.errf("router needs a name")
+				p.errf("router needs a name")
+				continue
+			}
+			if _, dup := topo.RouterByName(fields[1]); dup {
+				p.errf("duplicate router %q", fields[1])
+				continue
 			}
 			topo.AddRouter(fields[1])
 		case "link":
 			if len(fields) != 3 {
-				return nil, p.errf("link needs two router names")
+				p.errf("link needs two router names")
+				continue
 			}
-			pendingLinks = append(pendingLinks, [2]string{fields[1], fields[2]})
+			pendingLinks = append(pendingLinks, pendingLink{fields[1], fields[2], p.line})
 		case "end":
-			goto topoDone
+			break topoLoop
 		default:
-			return nil, p.errf("unexpected %q in topology section", fields[0])
+			p.errf("unexpected %q in topology section", fields[0])
 		}
 	}
-topoDone:
 	for _, l := range pendingLinks {
-		a, ok := topo.RouterByName(l[0])
-		if !ok {
-			return nil, p.errf("link references unknown router %q", l[0])
+		if l.a == l.b {
+			p.errAt(l.line, "link endpoints must differ, got %q twice", l.a)
+			continue
 		}
-		b, ok := topo.RouterByName(l[1])
-		if !ok {
-			return nil, p.errf("link references unknown router %q", l[1])
+		a, aok := topo.RouterByName(l.a)
+		if !aok {
+			p.errAt(l.line, "link references unknown router %q", l.a)
+			continue
+		}
+		b, bok := topo.RouterByName(l.b)
+		if !bok {
+			p.errAt(l.line, "link references unknown router %q", l.b)
+			continue
 		}
 		topo.AddLink(a, b)
 	}
 	p.net = NewNetwork(topo)
-	// Phase 2: router sections.
-	for {
+	// Phase 2: router sections. A broken section is skipped up to its
+	// "end" (or the next "router" header) and parsing resumes, so every
+	// broken section contributes a diagnostic in a single pass.
+	for len(p.diags) < maxDiags {
 		fields, ok = p.next()
 		if !ok {
 			break
 		}
 		if fields[0] != "router" || len(fields) != 2 {
-			return nil, p.errf("expected 'router <name>' section, got %q", strings.Join(fields, " "))
+			p.errf("expected 'router <name>' section, got %q", strings.Join(fields, " "))
+			p.skipSection()
+			continue
 		}
 		id, found := topo.RouterByName(fields[1])
 		if !found {
-			return nil, p.errf("configuration for unknown router %q", fields[1])
+			p.errf("configuration for unknown router %q", fields[1])
+			p.skipSection()
+			continue
 		}
 		if err := p.parseRouter(p.net.Routers[id], id); err != nil {
-			return nil, err
+			p.skipSection()
 		}
+	}
+	if len(p.diags) > 0 {
+		return p.fail()
 	}
 	if err := p.net.Validate(); err != nil {
 		return nil, err
@@ -237,12 +302,18 @@ func (p *parser) parseBGP(b *BGP) error {
 		case "exit":
 			return nil
 		case "network":
+			if len(fields) != 2 {
+				return p.errf("network wants a prefix")
+			}
 			pfx, err := route.ParsePrefix(fields[1])
 			if err != nil {
 				return p.errf("%v", err)
 			}
 			b.Networks = append(b.Networks, pfx)
 		case "aggregate":
+			if len(fields) != 2 {
+				return p.errf("aggregate wants a prefix")
+			}
 			pfx, err := route.ParsePrefix(fields[1])
 			if err != nil {
 				return p.errf("%v", err)
@@ -281,6 +352,9 @@ func (p *parser) parseOSPF(o *OSPF) error {
 		case "exit":
 			return nil
 		case "network":
+			if len(fields) != 2 {
+				return p.errf("network wants a prefix")
+			}
 			pfx, err := route.ParsePrefix(fields[1])
 			if err != nil {
 				return p.errf("%v", err)
@@ -306,6 +380,9 @@ func (p *parser) parseInterface(itf *Interface) error {
 		case "exit":
 			return nil
 		case "cost":
+			if len(fields) != 2 {
+				return p.errf("cost wants a value")
+			}
 			c, err := strconv.Atoi(fields[1])
 			if err != nil || c < 0 {
 				return p.errf("bad cost %q", fields[1])
@@ -384,6 +461,9 @@ func (p *parser) parseRouteMap(rm *RouteMap) error {
 			return p.errf("route-map clause must start with a sequence number")
 		}
 		c := &Clause{Seq: seq}
+		if len(fields) < 2 {
+			return p.errf("clause action must be permit or deny")
+		}
 		switch fields[1] {
 		case "permit":
 			c.Action = Permit
@@ -398,6 +478,9 @@ func (p *parser) parseRouteMap(rm *RouteMap) error {
 			case "any":
 				i++
 			case "prefix":
+				if i+1 >= len(fields) {
+					return p.errf("prefix wants a value")
+				}
 				pfx, err := route.ParsePrefix(fields[i+1])
 				if err != nil {
 					return p.errf("%v", err)
@@ -417,6 +500,9 @@ func (p *parser) parseRouteMap(rm *RouteMap) error {
 					i += 2
 				}
 			case "community":
+				if i+1 >= len(fields) {
+					return p.errf("community wants a value")
+				}
 				v, err := strconv.ParseUint(fields[i+1], 10, 64)
 				if err != nil {
 					return p.errf("bad community %q", fields[i+1])

@@ -1,0 +1,185 @@
+// Package resil holds the resilience primitives shared across the
+// verification pipeline: typed interruption errors (cancellation,
+// deadline expiry, non-convergence, internal faults), stage-tagged
+// error wrapping, and an amortized context/deadline checker cheap
+// enough to poll from BDD apply loops and per-router iterations.
+//
+// The package deliberately has no dependencies beyond the standard
+// library so every layer — BDD manager, control plane, data plane,
+// analysis, facade — can import it without cycles.
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Sentinel errors of the resilient runtime. Callers match them with
+// errors.Is; the concrete error in a result chain usually wraps one of
+// these with stage and router context (see StageError).
+var (
+	// ErrCanceled reports that the run's context was canceled.
+	ErrCanceled = errors.New("run canceled")
+	// ErrDeadline reports that the run exceeded its wall-clock budget
+	// (Options.Timeout or a context deadline).
+	ErrDeadline = errors.New("run deadline exceeded")
+	// ErrNoConvergence reports that a control-plane computation (the
+	// symbolic route computation or a concrete simulation) did not
+	// reach a fixed point within its iteration bound.
+	ErrNoConvergence = errors.New("control plane did not converge")
+	// ErrInternal reports a defect: an internal panic converted at the
+	// public API boundary instead of crashing the caller's process.
+	ErrInternal = errors.New("internal error")
+)
+
+// StageError tags an underlying error with the pipeline stage it
+// interrupted and, when known, the routers involved (the oscillating
+// routers of a non-convergent run, or the router being processed when
+// a panic fired).
+type StageError struct {
+	Stage   string   // "src", "spf", "analysis", "mine", "sim", ...
+	Routers []string // involved routers, when known
+	Err     error
+}
+
+func (e *StageError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %v", e.Stage, e.Err)
+	if len(e.Routers) > 0 {
+		fmt.Fprintf(&b, " (routers: %s)", strings.Join(e.Routers, ", "))
+	}
+	return b.String()
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Stage wraps err with a stage tag unless it already carries one, so
+// the innermost (most precise) stage wins as errors propagate outward.
+func Stage(stage string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: stage, Err: err}
+}
+
+// StageOf returns the stage recorded on err, or "" when err carries no
+// stage tag.
+func StageOf(err error) string {
+	var se *StageError
+	if errors.As(err, &se) {
+		return se.Stage
+	}
+	return ""
+}
+
+// Interruption reports whether err is a cooperative interruption
+// (cancellation or deadline) rather than a fault. Interruptions abort
+// a run cleanly; they are never retried by the degradation ladder.
+func Interruption(err error) bool {
+	return errors.Is(err, ErrCanceled) || errors.Is(err, ErrDeadline)
+}
+
+// DefaultPollInterval is how many Poll calls elapse between real
+// context/clock checks. At ~10⁶–10⁷ polled operations per second this
+// bounds cancellation latency to well under a millisecond of polled
+// work while keeping the common path to one branch and one increment.
+const DefaultPollInterval = 64
+
+// Checker polls a context and a wall-clock deadline at amortized cost.
+// The zero-cost path is a nil *Checker: every method is a no-op, so
+// pipeline code can hold and poll a checker unconditionally.
+//
+// A Checker is sticky: once tripped it keeps returning the same error,
+// so late pollers observe the interruption even after the context is
+// garbage. It is not safe for concurrent use; the pipeline is
+// single-threaded by design.
+type Checker struct {
+	ctx      context.Context
+	deadline time.Time
+	timeout  time.Duration
+	every    uint32
+	n        uint32
+	err      error
+}
+
+// NewChecker builds a checker for the given context and timeout.
+// Either may be absent (nil context, zero timeout); when both are
+// absent NewChecker returns nil — the no-op checker. every is the poll
+// interval (0 = DefaultPollInterval).
+func NewChecker(ctx context.Context, timeout time.Duration, every uint32) *Checker {
+	if ctx == nil && timeout <= 0 {
+		return nil
+	}
+	if every == 0 {
+		every = DefaultPollInterval
+	}
+	c := &Checker{ctx: ctx, timeout: timeout, every: every}
+	if timeout > 0 {
+		c.deadline = time.Now().Add(timeout)
+	}
+	return c
+}
+
+// Poll is the amortized check: it consults the context and clock every
+// c.every calls and returns nil otherwise. Call it from per-iteration
+// loops (router activations, BDD operations).
+func (c *Checker) Poll() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	c.n++
+	if c.n < c.every {
+		return nil
+	}
+	c.n = 0
+	return c.Check()
+}
+
+// Check consults the context and clock immediately. Call it at stage
+// boundaries where latency matters more than per-call cost.
+func (c *Checker) Check() error {
+	if c == nil {
+		return nil
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				c.err = fmt.Errorf("%w (context deadline)", ErrDeadline)
+			} else {
+				c.err = fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
+			return c.err
+		}
+	}
+	if !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		c.err = fmt.Errorf("%w (budget %s)", ErrDeadline, c.timeout)
+		return c.err
+	}
+	return nil
+}
+
+// Fn returns Check as a plain func for option structs that accept an
+// interrupt hook, or nil when the checker itself is nil so downstream
+// layers skip polling entirely. Check (not Poll) is the right hook:
+// the layers that call it — the BDD manager, the engine's activation
+// loop, the analysis stage boundaries — already amortize with their
+// own step counters, and stage boundaries need the immediate verdict.
+func (c *Checker) Fn() func() error {
+	if c == nil {
+		return nil
+	}
+	return c.Check
+}

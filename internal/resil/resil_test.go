@@ -1,0 +1,90 @@
+package resil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilCheckerIsNoop(t *testing.T) {
+	var c *Checker
+	if c.Poll() != nil || c.Check() != nil || c.Fn() != nil {
+		t.Fatal("nil checker must be a no-op")
+	}
+	if NewChecker(nil, 0, 0) != nil {
+		t.Fatal("NewChecker with no context and no timeout should return nil")
+	}
+}
+
+func TestCheckerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewChecker(ctx, 0, 4)
+	if err := c.Check(); err != nil {
+		t.Fatalf("premature trip: %v", err)
+	}
+	cancel()
+	// Amortized: the first polls may pass, but within one interval the
+	// cancellation must surface.
+	var err error
+	for i := 0; i < 4; i++ {
+		err = c.Poll()
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+	// Sticky.
+	if !errors.Is(c.Poll(), ErrCanceled) || !errors.Is(c.Check(), ErrCanceled) {
+		t.Fatal("checker must latch its error")
+	}
+}
+
+func TestCheckerDeadline(t *testing.T) {
+	c := NewChecker(nil, time.Nanosecond, 1)
+	time.Sleep(time.Millisecond)
+	if err := c.Poll(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+func TestCheckerContextDeadline(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	c := NewChecker(ctx, 0, 1)
+	if err := c.Check(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("context deadline should map to ErrDeadline, got %v", err)
+	}
+}
+
+func TestStageWrapping(t *testing.T) {
+	err := Stage("src", fmt.Errorf("wrapped: %w", ErrNoConvergence))
+	if StageOf(err) != "src" {
+		t.Fatalf("stage = %q, want src", StageOf(err))
+	}
+	if !errors.Is(err, ErrNoConvergence) {
+		t.Fatal("stage wrapping must preserve the sentinel")
+	}
+	// Innermost stage wins; re-wrapping is a no-op.
+	outer := Stage("mine", err)
+	if StageOf(outer) != "src" {
+		t.Fatalf("re-wrap changed stage to %q", StageOf(outer))
+	}
+	if Stage("x", nil) != nil {
+		t.Fatal("Stage(nil) must be nil")
+	}
+}
+
+func TestStageErrorRouters(t *testing.T) {
+	e := &StageError{Stage: "src", Routers: []string{"A", "B"}, Err: ErrNoConvergence}
+	msg := e.Error()
+	for _, want := range []string{"src:", "A", "B", "did not converge"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("error %q missing %q", msg, want)
+		}
+	}
+	if !Interruption(ErrCanceled) || !Interruption(ErrDeadline) || Interruption(ErrNoConvergence) {
+		t.Fatal("Interruption classification wrong")
+	}
+}

@@ -1,0 +1,27 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+
+	"sre/internal/resil"
+)
+
+// TestNonConvergenceReturnsError drives the simulator into its
+// iteration bound (via the white-box simulate with a tiny bound) and
+// checks that the failure comes back as a typed error naming routers
+// instead of a panic.
+func TestNonConvergenceReturnsError(t *testing.T) {
+	net := parse(t, figure1)
+	res, err := simulate(net, NewScenario(), 1)
+	if res != nil || err == nil {
+		t.Fatalf("expected a non-convergence error, got res=%v err=%v", res, err)
+	}
+	if !errors.Is(err, resil.ErrNoConvergence) {
+		t.Fatalf("error %v is not ErrNoConvergence", err)
+	}
+	var se *resil.StageError
+	if !errors.As(err, &se) || se.Stage != "sim" || len(se.Routers) == 0 {
+		t.Fatalf("error %v should carry stage sim and router names", err)
+	}
+}

@@ -105,7 +105,10 @@ func crossCheck(t *testing.T, net *config.Network, maxDown int) {
 	checked := 0
 	enumerate = func(start int, down []topology.LinkID) {
 		sc := NewScenario(down...)
-		res := Simulate(net, sc)
+		res, err := Simulate(net, sc)
+		if err != nil {
+			t.Fatalf("Simulate(%v): %v", down, err)
+		}
 		for _, pair := range pairs {
 			origins := make(map[topology.RouterID]bool)
 			for _, o := range net.OriginsOf(pair.pfx) {
@@ -339,7 +342,10 @@ func TestCrossCheckRandomBGP(t *testing.T) {
 
 func TestSimulateFigure1AllUp(t *testing.T) {
 	net := parse(t, figure1)
-	res := Simulate(net, NewScenario())
+	res, err := Simulate(net, NewScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
 	a := net.Topology.MustRouter("A")
 	c := net.Topology.MustRouter("C")
 	dst := map[topology.RouterID]bool{c: true}
@@ -359,7 +365,10 @@ func TestSimulateFigure1LinkABDown(t *testing.T) {
 	topo := net.Topology
 	a, b := topo.MustRouter("A"), topo.MustRouter("B")
 	ab, _ := topo.LinkBetween(a, b)
-	res := Simulate(net, NewScenario(ab))
+	res, err := Simulate(net, NewScenario(ab))
+	if err != nil {
+		t.Fatal(err)
+	}
 	c := topo.MustRouter("C")
 	dst := map[topology.RouterID]bool{c: true}
 	// With A-B down, 192/2 from A must fall back to the direct path,

@@ -20,9 +20,11 @@
 package sim
 
 import (
+	"fmt"
 	"sort"
 
 	"sre/internal/config"
+	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/topology"
 )
@@ -56,7 +58,18 @@ type Result struct {
 }
 
 // Simulate runs the control plane to a fixed point under the scenario.
-func Simulate(net *config.Network, sc Scenario) *Result {
+// A control plane that oscillates past its iteration bound returns a
+// resil.ErrNoConvergence-wrapping error naming the oscillating routers
+// instead of panicking, so baseline sweeps over many scenarios cannot
+// crash the process.
+func Simulate(net *config.Network, sc Scenario) (*Result, error) {
+	n := net.Topology.NumRouters()
+	return simulate(net, sc, 100000*(n+1))
+}
+
+// simulate is Simulate with an explicit iteration bound (tests use a
+// tiny bound to exercise the non-convergence path cheaply).
+func simulate(net *config.Network, sc Scenario, maxIters int) (*Result, error) {
 	res := &Result{Net: net, Sc: sc}
 	t := net.Topology
 	n := t.NumRouters()
@@ -97,8 +110,18 @@ func Simulate(net *config.Network, sc Scenario) *Result {
 	}
 	maxHops := n
 	for iter := 0; len(queue) > 0; iter++ {
-		if iter > 100000*(n+1) {
-			panic("sim: control plane did not converge")
+		if iter > maxIters {
+			const max = 8
+			var names []string
+			for _, q := range queue {
+				if len(names) >= max {
+					names = append(names, fmt.Sprintf("... %d more", len(queue)-max))
+					break
+				}
+				names = append(names, t.Name(q))
+			}
+			return nil, &resil.StageError{Stage: "sim", Routers: names,
+				Err: fmt.Errorf("%w after %d iterations", resil.ErrNoConvergence, maxIters)}
 		}
 		r := queue[0]
 		queue = queue[1:]
@@ -142,7 +165,7 @@ func Simulate(net *config.Network, sc Scenario) *Result {
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // selectBest installs the best (ECMP) tier per prefix from the

@@ -17,6 +17,7 @@ import (
 	"sre/internal/bdd"
 	"sre/internal/config"
 	"sre/internal/obs"
+	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/src"
 	"sre/internal/symbol"
@@ -130,10 +131,13 @@ func NewForwarder(eng *src.Engine) (*Forwarder, error) {
 func protect(fn func()) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
-			// Only BDD resource errors are recoverable; runtime panics
-			// indicate bugs and must crash loudly.
-			if e, ok := r.(error); ok && errors.Is(e, bdd.ErrNodeLimit) {
-				err = e
+			// Only BDD resource errors and cooperative interruptions
+			// (cancellation, deadline — surfaced by the BDD manager's
+			// Interrupt hook) are recoverable; runtime panics indicate
+			// bugs and must crash loudly.
+			if e, ok := r.(error); ok &&
+				(errors.Is(e, bdd.ErrNodeLimit) || resil.Interruption(e)) {
+				err = resil.Stage("spf", e)
 				return
 			}
 			panic(r)

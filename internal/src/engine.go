@@ -27,6 +27,7 @@ import (
 	"sre/internal/bdd"
 	"sre/internal/config"
 	"sre/internal/obs"
+	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/symbol"
 	"sre/internal/topology"
@@ -65,6 +66,16 @@ type Options struct {
 	// timing histograms, and progress events during Run. Nil disables
 	// all instrumentation at near-zero cost.
 	Telemetry *obs.Telemetry
+	// Interrupt, when non-nil, is polled once per router activation
+	// (and threaded into the BDD manager of spaces built on the
+	// engine's behalf); a non-nil return aborts the run with that
+	// error, tagged with the interrupted stage. Wire resil.Checker.Fn
+	// here for cancellation and deadlines.
+	Interrupt func() error
+	// BDDNodeLimit caps the node table of BDD spaces created on the
+	// engine's behalf (analysis.Run and the miner; engines given an
+	// explicit space ignore it). Zero means the bdd package default.
+	BDDNodeLimit int
 }
 
 // SymRoute is a symbolic route: a concrete route plus its topology
@@ -275,7 +286,12 @@ func (e *Engine) Run() error {
 			e.stats.Activations++
 			e.telActs.Inc()
 			if e.stats.Activations > e.Opts.MaxIterations {
-				panic(convergencePanic{})
+				panic(convergencePanic{routers: e.oscillatingRouters(r)})
+			}
+			if e.Opts.Interrupt != nil {
+				if ierr := e.Opts.Interrupt(); ierr != nil {
+					panic(bddPanicWrap{ierr})
+				}
 			}
 			var t0 time.Time
 			if e.tel != nil {
@@ -314,7 +330,25 @@ func (e *Engine) emitProgress(final bool) {
 	})
 }
 
-type convergencePanic struct{}
+// convergencePanic unwinds a run whose activation count exceeded the
+// iteration bound; routers names the oscillating routers for the error.
+type convergencePanic struct{ routers []string }
+
+// oscillatingRouters names the routers still being activated when the
+// iteration bound fired: the router just popped plus the queued ones,
+// capped to keep the error message readable.
+func (e *Engine) oscillatingRouters(r topology.RouterID) []string {
+	const max = 8
+	names := []string{e.Net.Topology.Name(r)}
+	for _, q := range e.queue {
+		if len(names) >= max {
+			names = append(names, fmt.Sprintf("... %d more", len(e.queue)-max+1))
+			break
+		}
+		names = append(names, e.Net.Topology.Name(q))
+	}
+	return names
+}
 
 // bddPanicWrap carries a setup error across the protected region.
 type bddPanicWrap struct{ err error }
@@ -333,10 +367,11 @@ func (e *Engine) protect(f func()) (err error) {
 		switch r := r.(type) {
 		case nil:
 		case convergencePanic:
-			err = fmt.Errorf("src: no convergence after %d activations", e.Opts.MaxIterations)
+			err = &resil.StageError{Stage: "src", Routers: r.routers,
+				Err: fmt.Errorf("%w after %d activations", resil.ErrNoConvergence, e.Opts.MaxIterations)}
 		default:
 			if be, ok := bddErr(r); ok {
-				err = be
+				err = resil.Stage("src", be)
 				return
 			}
 			panic(r)
@@ -347,11 +382,13 @@ func (e *Engine) protect(f func()) (err error) {
 }
 
 // bddErr extracts an engine-level error from a recovered panic value:
-// BDD node-limit overflows and wrapped setup errors. Runtime panics are
-// NOT converted — they indicate bugs and must crash loudly.
+// BDD node-limit overflows, cancellation/deadline interruptions, and
+// wrapped setup errors. Runtime panics are NOT converted — they
+// indicate bugs and must crash loudly (the public API's panic firewall
+// is the only layer that converts those).
 func bddErr(r interface{}) (error, bool) {
 	if e, ok := r.(error); ok {
-		if errors.Is(e, bdd.ErrNodeLimit) {
+		if errors.Is(e, bdd.ErrNodeLimit) || resil.Interruption(e) {
 			return e, true
 		}
 		if w, ok := r.(bddPanicWrap); ok {

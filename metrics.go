@@ -90,32 +90,38 @@ type BDDMetrics struct {
 
 // Metrics returns the metrics of the verifier's symbolic execution. The
 // report is complete without telemetry; with Options.Telemetry set it
-// additionally embeds the counter and span snapshot.
+// additionally embeds the counter and span snapshot. For resilient runs
+// the report aggregates over all prefix-group pipelines (each group has
+// its own engine and BDD manager), so node and work counters are sums.
 func (v *Verifier) Metrics() MetricsReport {
-	est := v.pipe.Eng.Statistics()
-	bst := v.pipe.Sp.M.Statistics()
 	r := MetricsReport{
-		SRCSeconds:     v.pipe.SRCTime.Seconds(),
-		SPFSeconds:     v.pipe.SPFTime.Seconds(),
-		NumRouters:     v.net.Topology.NumRouters(),
-		NumLinks:       v.net.Topology.NumLinks(),
-		NumPFECs:       v.pipe.NumPFECs(),
-		RoutesImported: est.RoutesImported,
-		RoutesPruned:   est.RoutesPruned,
-		RIBRoutes:      est.RIBRoutes,
-		Activations:    est.Activations,
-		BDD: BDDMetrics{
-			LiveNodes:     bst.LiveNodes,
-			FreeNodes:     bst.FreeNodes,
-			PeakNodes:     bst.PeakNodes,
-			GCRuns:        bst.GCRuns,
-			CacheHits:     bst.CacheHits,
-			CacheMisses:   bst.CacheMiss,
-			CacheHitRatio: bst.CacheHitRatio(),
-		},
+		NumRouters: v.net.Topology.NumRouters(),
+		NumLinks:   v.net.Topology.NumLinks(),
+	}
+	for _, pipe := range v.allPipes() {
+		est := pipe.Eng.Statistics()
+		bst := pipe.Sp.M.Statistics()
+		r.SRCSeconds += pipe.SRCTime.Seconds()
+		r.SPFSeconds += pipe.SPFTime.Seconds()
+		r.NumPFECs += pipe.NumPFECs()
+		r.RoutesImported += est.RoutesImported
+		r.RoutesPruned += est.RoutesPruned
+		r.RIBRoutes += est.RIBRoutes
+		r.Activations += est.Activations
+		r.BDD.LiveNodes += bst.LiveNodes
+		r.BDD.FreeNodes += bst.FreeNodes
+		r.BDD.PeakNodes += bst.PeakNodes
+		r.BDD.GCRuns += bst.GCRuns
+		r.BDD.CacheHits += bst.CacheHits
+		r.BDD.CacheMisses += bst.CacheMiss
+	}
+	if total := r.BDD.CacheHits + r.BDD.CacheMisses; total > 0 {
+		r.BDD.CacheHitRatio = float64(r.BDD.CacheHits) / float64(total)
 	}
 	if v.tel != nil {
-		v.pipe.Sp.M.SampleTelemetry()
+		for _, pipe := range v.allPipes() {
+			pipe.Sp.M.SampleTelemetry()
+		}
 		rep := v.tel.Snapshot()
 		r.Telemetry = &rep
 	}

@@ -1,0 +1,360 @@
+package sre_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sre"
+)
+
+// heavyLight is a 5-router BGP full mesh tuned so that one prefix is
+// symbolically heavy and the others stay tiny. Router A originates
+// 10.0.0.0/8 and lets it flood the mesh (the BDD for its forwarding
+// behaviour peaks at a few thousand nodes under an unbounded failure
+// budget), while B and C originate 20.0.0.0/8 and 30.0.0.0/8 but deny
+// them towards every neighbor, so those prefixes never leave their
+// origin (a few dozen nodes). Driving the node limit between the two
+// scales exercises every quarantine/degradation path.
+const heavyLight = `
+topology
+  router A
+  router B
+  router C
+  router D
+  router E
+  link A B
+  link A C
+  link A D
+  link A E
+  link B C
+  link B D
+  link B E
+  link C D
+  link C E
+  link D E
+end
+router A
+  bgp 65001
+    network 10.0.0.0/8
+end
+router B
+  bgp 65002
+    network 20.0.0.0/8
+    neighbor A export-map LOCAL
+    neighbor C export-map LOCAL
+    neighbor D export-map LOCAL
+    neighbor E export-map LOCAL
+  route-map LOCAL
+    10 deny prefix 20.0.0.0/8
+    20 permit any
+end
+router C
+  bgp 65003
+    network 30.0.0.0/8
+    neighbor A export-map LOCAL
+    neighbor B export-map LOCAL
+    neighbor D export-map LOCAL
+    neighbor E export-map LOCAL
+  route-map LOCAL
+    10 deny prefix 30.0.0.0/8
+    20 permit any
+end
+router D
+  bgp 65004
+end
+router E
+  bgp 65005
+end
+`
+
+func heavyLightNet(t *testing.T) *sre.Network {
+	t.Helper()
+	net, err := sre.ParseNetwork(heavyLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestResilientDegradesHeavyPrefix drives a three-prefix resilient run
+// into a node limit that only the heavy prefix overflows. The run must
+// complete: the heavy prefix is quarantined and re-verified abstracted
+// (degraded), the light prefixes verify untouched, and every prefix
+// stays queryable.
+func TestResilientDegradesHeavyPrefix(t *testing.T) {
+	net := heavyLightNet(t)
+	tel := sre.NewTelemetry()
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures:  -1,
+		BDDNodeLimit: 800,
+		Resilient:    true,
+		Telemetry:    tel,
+	})
+	if err != nil {
+		t.Fatalf("resilient NewVerifier: %v", err)
+	}
+	defer v.Release()
+
+	if !v.Degraded() {
+		t.Error("verifier should report Degraded()")
+	}
+	outcomes := v.Outcomes()
+	if len(outcomes) != 3 {
+		t.Fatalf("got %d outcomes, want 3", len(outcomes))
+	}
+	for _, o := range outcomes {
+		switch o.Prefix.String() {
+		case "10.0.0.0/8":
+			if o.Err != nil {
+				t.Errorf("heavy prefix failed outright: %v", o.Err)
+			}
+			if !o.Quarantined || !o.Degraded {
+				t.Errorf("heavy prefix: Quarantined=%v Degraded=%v, want both true", o.Quarantined, o.Degraded)
+			}
+			if len(o.Rungs) == 0 || o.Rungs[0] != sre.RungAbstract {
+				t.Errorf("heavy prefix rungs = %v, want [%q ...]", o.Rungs, sre.RungAbstract)
+			}
+		default:
+			if o.Err != nil || o.Quarantined || o.Degraded {
+				t.Errorf("light prefix %s: Err=%v Quarantined=%v Degraded=%v, want clean",
+					o.Prefix, o.Err, o.Quarantined, o.Degraded)
+			}
+		}
+	}
+
+	// Every prefix — including the degraded one — answers queries.
+	if k, err := v.FailureTolerance("D", "10.0.0.0/8"); err != nil {
+		t.Errorf("FailureTolerance on degraded prefix: %v", err)
+	} else if k < 0 {
+		t.Errorf("FailureTolerance on degraded prefix = %d, want >= 0", k)
+	}
+	if _, err := v.FailureTolerance("B", "20.0.0.0/8"); err != nil {
+		t.Errorf("FailureTolerance on light prefix: %v", err)
+	}
+
+	// The per-prefix sweep carries the outcome flags through.
+	results, err := v.FailureTolerances("D")
+	if err != nil {
+		t.Fatalf("FailureTolerances: %v", err)
+	}
+	found := false
+	for _, r := range results {
+		if r.Prefix == "10.0.0.0/8" {
+			found = true
+			if !r.Degraded || !r.Quarantined {
+				t.Errorf("sweep row for heavy prefix: Degraded=%v Quarantined=%v", r.Degraded, r.Quarantined)
+			}
+		}
+	}
+	if !found {
+		t.Error("sweep is missing the heavy prefix")
+	}
+
+	rep := tel.Snapshot()
+	if rep.Counters["resilience.quarantined"] < 1 {
+		t.Errorf("resilience.quarantined = %d, want >= 1", rep.Counters["resilience.quarantined"])
+	}
+	if rep.Counters["resilience.degraded"] < 1 {
+		t.Errorf("resilience.degraded = %d, want >= 1", rep.Counters["resilience.degraded"])
+	}
+	if rep.Counters["resilience.retries"] < 1 {
+		t.Errorf("resilience.retries = %d, want >= 1", rep.Counters["resilience.retries"])
+	}
+}
+
+// TestResilientLadderExhausted squeezes the node limit below what even
+// the escalation ladder can satisfy for the heavy prefix. The run still
+// completes: the heavy prefix is marked failed (outcome.Err set), its
+// queries return an explanatory error, and the light prefixes remain
+// fully verified.
+func TestResilientLadderExhausted(t *testing.T) {
+	net := heavyLightNet(t)
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures:  -1,
+		BDDNodeLimit: 400,
+		Resilient:    true,
+	})
+	if err != nil {
+		t.Fatalf("resilient NewVerifier: %v", err)
+	}
+	defer v.Release()
+
+	var heavy *sre.PrefixOutcome
+	for i, o := range v.Outcomes() {
+		if o.Prefix.String() == "10.0.0.0/8" {
+			heavy = &v.Outcomes()[i]
+		} else if o.Err != nil {
+			t.Errorf("light prefix %s failed: %v", o.Prefix, o.Err)
+		}
+	}
+	if heavy == nil {
+		t.Fatal("no outcome for the heavy prefix")
+	}
+	if heavy.Err == nil {
+		t.Fatal("heavy prefix should have exhausted the ladder (Err set)")
+	}
+	if !errors.Is(heavy.Err, sre.ErrBDDLimit) {
+		t.Errorf("heavy outcome error = %v, want ErrBDDLimit", heavy.Err)
+	}
+	if !heavy.Quarantined {
+		t.Error("heavy prefix should be quarantined")
+	}
+
+	// Queries against the failed prefix explain themselves...
+	if _, err := v.FailureTolerance("D", "10.0.0.0/8"); err == nil {
+		t.Error("query on failed prefix should error")
+	} else if !strings.Contains(err.Error(), "degradation ladder exhausted") {
+		t.Errorf("query error %q should mention the exhausted ladder", err)
+	}
+	// ...while the light prefixes still answer.
+	if _, err := v.FailureTolerance("B", "20.0.0.0/8"); err != nil {
+		t.Errorf("light prefix query after heavy failure: %v", err)
+	}
+	if _, err := v.FailureTolerance("C", "30.0.0.0/8"); err != nil {
+		t.Errorf("light prefix query after heavy failure: %v", err)
+	}
+
+	// Contrast: the same limit without Resilient aborts the whole run.
+	if _, err := sre.NewVerifier(net, sre.Options{MaxFailures: -1, BDDNodeLimit: 400}); !errors.Is(err, sre.ErrBDDLimit) {
+		t.Errorf("non-resilient run at the same limit: err = %v, want ErrBDDLimit", err)
+	}
+}
+
+// TestResilientMineSpecs is the spec-mining regression from the issue:
+// three prefixes, one forced over a small node limit, must still yield a
+// mined spec for the others while the failing prefix is reported as
+// degraded (clamped tolerances, DegradedPairs) rather than sinking the
+// whole run.
+func TestResilientMineSpecs(t *testing.T) {
+	net := heavyLightNet(t)
+	specs, err := sre.MineSpecs(net, 1, sre.Options{
+		BDDNodeLimit: 100,
+		Resilient:    true,
+	})
+	if err != nil {
+		t.Fatalf("resilient MineSpecs: %v", err)
+	}
+
+	heavyReported := false
+	for pfx, o := range specs.Outcomes {
+		if pfx.String() != "10.0.0.0/8" {
+			continue
+		}
+		heavyReported = true
+		if !o.Quarantined {
+			t.Error("heavy prefix should be quarantined in mining outcomes")
+		}
+	}
+	if !heavyReported {
+		t.Error("mining outcomes are missing the heavy prefix")
+	}
+
+	if len(specs.DegradedPairs) == 0 {
+		t.Fatal("no degraded pairs recorded")
+	}
+	for key := range specs.DegradedPairs {
+		if key.Prefix.String() != "10.0.0.0/8" {
+			t.Errorf("degraded pair for %s, want only the heavy prefix", key.Prefix)
+		}
+		// Stratum 0 passed and stratum 1 overflowed, so the surviving
+		// verdict must be the clamped lower bound k-1 = 0.
+		if got := specs.ReachTolerance[key]; got != 0 {
+			t.Errorf("clamped tolerance for %v = %d, want 0", key, got)
+		}
+	}
+
+	// The light prefixes mined normally: a sound verdict per pair
+	// (-1 = unreachable with all links up is sound — the light prefixes
+	// never leave their origin).
+	light := map[string]bool{}
+	for key, tol := range specs.ReachTolerance {
+		if specs.DegradedPairs[key] {
+			continue
+		}
+		if tol < -1 {
+			t.Errorf("nonsense tolerance %d for %v", tol, key)
+		}
+		light[key.Prefix.String()] = true
+	}
+	for _, want := range []string{"20.0.0.0/8", "30.0.0.0/8"} {
+		if !light[want] {
+			t.Errorf("no sound mined verdict for light prefix %s", want)
+		}
+	}
+}
+
+// TestCancelBetweenStages cancels the run the moment SRC reports its
+// final progress event; the deterministic stage-boundary check must stop
+// the pipeline before forwarding starts.
+func TestCancelBetweenStages(t *testing.T) {
+	net := heavyLightNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: -1,
+		Context:     ctx,
+		Progress: sre.ProgressFunc(func(e sre.ProgressEvent) {
+			if e.Stage == "src" && e.Final {
+				cancel()
+			}
+		}),
+	})
+	if err == nil {
+		t.Fatal("canceled run should not produce a verifier")
+	}
+	if !errors.Is(err, sre.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if stage := sre.ErrStage(err); stage != "spf" {
+		t.Errorf("ErrStage = %q, want %q (the SRC→SPF boundary)", stage, "spf")
+	}
+}
+
+// TestPreCanceledContext aborts before any symbolic work happens.
+func TestPreCanceledContext(t *testing.T) {
+	net := heavyLightNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := sre.NewVerifier(net, sre.Options{MaxFailures: -1, Context: ctx})
+	if !errors.Is(err, sre.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, sre.ErrDeadline) {
+		t.Error("cancellation must not read as a deadline")
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("abort took %v, want well under one polling interval", d)
+	}
+}
+
+// TestDeadlineExpiry arms an already-expired deadline; the run must
+// abort with ErrDeadline (distinct from ErrCanceled) at the first poll.
+func TestDeadlineExpiry(t *testing.T) {
+	net := heavyLightNet(t)
+	_, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: -1,
+		Timeout:     time.Nanosecond,
+	})
+	if !errors.Is(err, sre.ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	if errors.Is(err, sre.ErrCanceled) {
+		t.Error("deadline expiry must not read as cancellation")
+	}
+	if stage := sre.ErrStage(err); stage == "" {
+		t.Error("deadline error should carry the interrupted stage")
+	}
+}
+
+// TestDeadlineOnQueries verifies MineSpecs honours the budget too.
+func TestDeadlineOnQueries(t *testing.T) {
+	net := heavyLightNet(t)
+	_, err := sre.MineSpecs(net, 2, sre.Options{Timeout: time.Nanosecond})
+	if !errors.Is(err, sre.ErrDeadline) {
+		t.Fatalf("MineSpecs err = %v, want ErrDeadline", err)
+	}
+}

@@ -1,0 +1,134 @@
+package sre
+
+import (
+	"fmt"
+
+	"sre/internal/analysis"
+	"sre/internal/route"
+)
+
+// PrefixOutcome reports how one prefix of a resilient run fared: whether
+// it was quarantined after a node-table overflow, which degradation
+// rungs it was retried on, and the error when the ladder was exhausted.
+type PrefixOutcome = analysis.PrefixOutcome
+
+// Degradation-ladder rung names recorded in PrefixOutcome.Rungs.
+const (
+	RungAbstract     = analysis.RungAbstract
+	RungHalveBudget  = analysis.RungHalveBudget
+	RungSplitHeaders = analysis.RungSplitHeaders
+)
+
+// Outcomes returns the per-prefix outcomes of a resilient run, sorted by
+// prefix. It returns nil for verifiers built without Options.Resilient.
+func (v *Verifier) Outcomes() []PrefixOutcome {
+	if v.part == nil {
+		return nil
+	}
+	return v.part.Outcomes()
+}
+
+// Degraded reports whether any prefix of a resilient run was verified
+// with weaker settings than requested, or failed outright. Callers that
+// need exact results under the original options should treat a degraded
+// run as partial.
+func (v *Verifier) Degraded() bool {
+	for _, o := range v.Outcomes() {
+		if o.Degraded || o.Err != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// allPipes returns every live pipeline behind the verifier: exactly one
+// for a regular run, one per prefix group for a resilient run.
+func (v *Verifier) allPipes() []*analysis.Pipeline {
+	if v.part != nil {
+		return v.part.Groups
+	}
+	return []*analysis.Pipeline{v.pipe}
+}
+
+// pipesFor returns the pipelines covering pfx. A regular verifier has a
+// single pipeline covering everything. A resilient verifier may cover a
+// prefix with one pipeline (its group, or its quarantine retry) or two
+// (after the split-headers rung); queries combine results across them.
+// Prefixes that exhausted the degradation ladder, or were never part of
+// the run, yield an error.
+func (v *Verifier) pipesFor(pfx route.Prefix) ([]*analysis.Pipeline, error) {
+	if v.part == nil {
+		return []*analysis.Pipeline{v.pipe}, nil
+	}
+	if o := v.part.Outcome(pfx); o != nil && o.Err != nil {
+		return nil, fmt.Errorf("sre: prefix %s could not be verified (degradation ladder exhausted): %w", pfx, o.Err)
+	}
+	pipes := v.part.PipelinesFor(pfx)
+	if len(pipes) == 0 {
+		return nil, fmt.Errorf("sre: prefix %s was not part of this resilient run", pfx)
+	}
+	return pipes, nil
+}
+
+// analyzedPrefixes returns the prefixes this verifier has results for.
+func (v *Verifier) analyzedPrefixes() []route.Prefix {
+	if v.part != nil {
+		outs := v.part.Outcomes()
+		pfxs := make([]route.Prefix, len(outs))
+		for i, o := range outs {
+			pfxs[i] = o.Prefix
+		}
+		return pfxs
+	}
+	if len(v.prefixes) > 0 {
+		return v.prefixes
+	}
+	return v.net.AllPrefixes()
+}
+
+// PrefixResult is one prefix's entry in a per-prefix query sweep: the
+// measured value, or the error that prevented measuring it, plus the
+// resilience flags of the prefix's outcome when the verifier ran in
+// resilient mode.
+type PrefixResult struct {
+	Prefix string
+	// Value is the measured tolerance; meaningful only when Err is nil.
+	Value int
+	// Err is set when the prefix could not be evaluated (quarantined
+	// past the ladder, not originated, ...). Other prefixes in the same
+	// sweep still carry results.
+	Err error
+	// Degraded/Quarantined/Rungs mirror the prefix's PrefixOutcome.
+	Degraded    bool
+	Quarantined bool
+	Rungs       []string
+}
+
+// FailureTolerances sweeps FailureTolerance from srcRouter over every
+// analyzed prefix. Unlike calling FailureTolerance in a loop, the sweep
+// degrades gracefully: a prefix that failed verification contributes a
+// PrefixResult with Err set instead of aborting the sweep, so partial
+// results survive resource exhaustion on individual prefixes.
+func (v *Verifier) FailureTolerances(srcRouter string) ([]PrefixResult, error) {
+	if _, ok := v.net.Topology.RouterByName(srcRouter); !ok {
+		return nil, fmt.Errorf("sre: unknown router %q", srcRouter)
+	}
+	prefixes := v.analyzedPrefixes()
+	out := make([]PrefixResult, 0, len(prefixes))
+	for _, pfx := range prefixes {
+		pr := PrefixResult{Prefix: pfx.String()}
+		if v.part != nil {
+			if o := v.part.Outcome(pfx); o != nil {
+				pr.Degraded, pr.Quarantined, pr.Rungs = o.Degraded, o.Quarantined, o.Rungs
+			}
+		}
+		k, err := v.FailureTolerance(srcRouter, pfx.String())
+		if err != nil {
+			pr.Err = err
+		} else {
+			pr.Value = k
+		}
+		out = append(out, pr)
+	}
+	return out, nil
+}

@@ -14,8 +14,11 @@ type symbolSpace = symbol.Space
 // header bits, one variable per link, and one node-failure variable per
 // router (used by probabilistic analyses with node failures). The
 // telemetry handle (may be nil) wires bdd.* counters and gauges into the
-// underlying manager.
-func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry) *symbolSpace {
+// underlying manager; the interrupt hook (may be nil) is polled from the
+// manager's apply loops so cancellation reaches even the deepest BDD
+// recursions.
+func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry, interrupt func() error) *symbolSpace {
 	return symbol.NewSpace(net.Topology.NumLinks(),
-		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel}, net.Topology.NumRouters())
+		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel, Interrupt: interrupt},
+		net.Topology.NumRouters())
 }

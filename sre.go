@@ -30,15 +30,18 @@
 package sre
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"sre/internal/analysis"
 	"sre/internal/bdd"
 	"sre/internal/config"
 	"sre/internal/obs"
 	"sre/internal/prob"
+	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/src"
 	"sre/internal/topology"
@@ -92,8 +95,27 @@ type Options struct {
 	// (prefix pruning, §7.2). Empty means all originated prefixes.
 	Prefixes []string
 	// BDDNodeLimit caps the BDD node table (0 = the package default).
-	// When exceeded, NewVerifier returns ErrBDDLimit.
+	// When exceeded, NewVerifier returns ErrBDDLimit — unless Resilient
+	// is set, in which case overflowing prefixes are quarantined and
+	// retried through the degradation ladder instead.
 	BDDNodeLimit int
+	// Context, when non-nil, cancels the run cooperatively: the
+	// pipeline polls it from its inner loops (BDD operations, router
+	// activations) and aborts within one polling interval, returning an
+	// error matching ErrCanceled (or ErrDeadline when the context's own
+	// deadline expired).
+	Context context.Context
+	// Timeout bounds the wall-clock duration of the run. When it
+	// expires mid-run the pipeline aborts with an error matching
+	// ErrDeadline. Zero means no budget.
+	Timeout time.Duration
+	// Resilient enables graceful degradation for multi-prefix runs.
+	// Instead of failing the whole run when the BDD node table
+	// overflows, the offending prefix is quarantined and retried
+	// through an escalation ladder (AS-path abstraction, halved failure
+	// budget, split header space) while the remaining prefixes complete
+	// normally. Per-prefix outcomes are reported by Verifier.Outcomes.
+	Resilient bool
 	// Telemetry, when non-nil, collects counters, gauges, histograms,
 	// and tracing spans across the run (see NewTelemetry and
 	// Verifier.Metrics). Nil disables collection at near-zero cost
@@ -131,57 +153,107 @@ var ErrBDDLimit = bdd.ErrNodeLimit
 // Verifier holds the result of symbolically executing a network: the
 // PFECs, ready for property analysis.
 type Verifier struct {
-	net  *Network
-	pipe *analysis.Pipeline
-	tel  *obs.Telemetry
+	net *Network
+	// Exactly one of pipe/part is set: pipe for regular runs, part for
+	// resilient runs (one pipeline per prefix group).
+	pipe     *analysis.Pipeline
+	part     *analysis.Partitioned
+	tel      *obs.Telemetry
+	prefixes []route.Prefix // requested analysis domain (empty = all)
 }
 
 // NewVerifier symbolically executes the network (symbolic route
 // computation, then symbolic packet forwarding) and returns a verifier
 // over the discovered PFECs.
-func NewVerifier(net *Network, opts Options) (*Verifier, error) {
-	srcOpts, sp, err := buildOpts(net, opts)
+func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
+	srcOpts, prefixes, err := buildOpts(opts)
 	if err != nil {
 		return nil, err
 	}
-	pipe, err := analysis.RunWithSpace(net, sp, srcOpts)
-	if err != nil {
-		return nil, err
+	v = &Verifier{net: net, tel: srcOpts.Telemetry, prefixes: prefixes}
+	defer func() {
+		if err != nil {
+			v = nil
+		}
+	}()
+	defer guard("verify", srcOpts.Telemetry, &err)
+	if opts.Resilient {
+		domain := prefixes
+		if len(domain) == 0 {
+			domain = net.AllPrefixes()
+		}
+		part, perr := analysis.RunPartitioned(net, srcOpts, domain, analysis.LadderOptions{})
+		if perr != nil {
+			return nil, perr
+		}
+		v.part, v.prefixes = part, domain
+		return v, nil
 	}
-	return &Verifier{net: net, pipe: pipe, tel: srcOpts.Telemetry}, nil
+	srcOpts.Prefixes = prefixes
+	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry, srcOpts.Interrupt)
+	pipe, perr := analysis.RunWithSpace(net, sp, srcOpts)
+	if perr != nil {
+		return nil, perr
+	}
+	v.pipe = pipe
+	return v, nil
 }
 
-func buildOpts(net *Network, opts Options) (src.Options, *symbolSpace, error) {
+// buildOpts translates the public options into engine options (wiring
+// the cancellation checker into the interrupt hook) and parses the
+// requested prefixes.
+func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
+	checker := resil.NewChecker(opts.Context, opts.Timeout, 0)
 	srcOpts := src.Options{
 		PruneK:       opts.MaxFailures,
 		Abstract:     opts.Abstract,
 		NoECMP:       opts.NoECMP,
 		IBGPFullMesh: opts.IBGPFullMesh,
 		Telemetry:    opts.telemetry(),
+		Interrupt:    checker.Fn(),
+		BDDNodeLimit: opts.BDDNodeLimit,
 	}
+	var prefixes []route.Prefix
 	for _, p := range opts.Prefixes {
 		pfx, err := route.ParsePrefix(p)
 		if err != nil {
 			return src.Options{}, nil, err
 		}
-		srcOpts.Prefixes = append(srcOpts.Prefixes, pfx)
+		prefixes = append(prefixes, pfx)
 	}
-	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry)
-	return srcOpts, sp, nil
+	return srcOpts, prefixes, nil
 }
 
 // Release frees the verifier's BDD resources. The verifier must not be
 // used afterwards.
-func (v *Verifier) Release() { v.pipe.Release() }
+func (v *Verifier) Release() {
+	if v.part != nil {
+		v.part.Release()
+		return
+	}
+	v.pipe.Release()
+}
 
 // NumPFECs returns the number of packet failure equivalence classes
-// discovered across all sources.
-func (v *Verifier) NumPFECs() int { return v.pipe.NumPFECs() }
+// discovered across all sources (summed over prefix groups for a
+// resilient run).
+func (v *Verifier) NumPFECs() int {
+	n := 0
+	for _, pipe := range v.allPipes() {
+		n += pipe.NumPFECs()
+	}
+	return n
+}
 
 // Stages returns the wall-clock durations of the two symbolic execution
-// stages (SRC and SPF), as reported in the paper's Figure 13.
+// stages (SRC and SPF), as reported in the paper's Figure 13 (summed
+// over prefix groups for a resilient run).
 func (v *Verifier) Stages() (srcTime, spfTime float64) {
-	return v.pipe.SRCTime.Seconds(), v.pipe.SPFTime.Seconds()
+	for _, pipe := range v.allPipes() {
+		srcTime += pipe.SRCTime.Seconds()
+		spfTime += pipe.SPFTime.Seconds()
+	}
+	return srcTime, spfTime
 }
 
 // InfiniteTolerance is returned when no explored failure combination
@@ -210,19 +282,31 @@ func (v *Verifier) resolve(srcRouter, prefix string) (topology.RouterID, route.P
 // prefix stays reachable under every combination of at most k link
 // failures. -1 means unreachable even with all links up;
 // InfiniteTolerance means no explored combination breaks it.
-func (v *Verifier) FailureTolerance(srcRouter, prefix string) (int, error) {
+func (v *Verifier) FailureTolerance(srcRouter, prefix string) (k int, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
-	return v.pipe.MinTolerance(prop, hdr), nil
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
+	}
+	k = InfiniteTolerance
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		prop := pipe.ReachBDD(s, pipe.OriginSet(pfx), hdr)
+		if t := pipe.MinTolerance(prop, hdr); t < k {
+			k = t
+		}
+	}
+	return k, nil
 }
 
 // WaypointTolerance is FailureTolerance for the property "reaches the
 // prefix AND traverses waypoint".
-func (v *Verifier) WaypointTolerance(srcRouter, prefix, waypoint string) (int, error) {
+func (v *Verifier) WaypointTolerance(srcRouter, prefix, waypoint string) (k int, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
@@ -231,9 +315,19 @@ func (v *Verifier) WaypointTolerance(srcRouter, prefix, waypoint string) (int, e
 	if !ok {
 		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	prop := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
-	return v.pipe.MinTolerance(prop, hdr), nil
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
+	}
+	k = InfiniteTolerance
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		prop := pipe.WaypointBDD(s, pipe.OriginSet(pfx), w, hdr)
+		if t := pipe.MinTolerance(prop, hdr); t < k {
+			k = t
+		}
+	}
+	return k, nil
 }
 
 // WaypointOnlyTolerance returns the failure tolerance of the property
@@ -243,7 +337,8 @@ func (v *Verifier) WaypointTolerance(srcRouter, prefix, waypoint string) (int, e
 // conditional-waypointing contract of the paper's §6.5 scenario —
 // deleting C's ACL leaves the plain waypoint tolerance unchanged but
 // drops the bypass tolerance from infinite to 0.
-func (v *Verifier) WaypointOnlyTolerance(srcRouter, prefix, waypoint string) (int, error) {
+func (v *Verifier) WaypointOnlyTolerance(srcRouter, prefix, waypoint string) (k int, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
@@ -252,37 +347,71 @@ func (v *Verifier) WaypointOnlyTolerance(srcRouter, prefix, waypoint string) (in
 	if !ok {
 		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	reach := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
-	via := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
-	bypass := v.pipe.Sp.M.Diff(reach, via)
-	// Bypass must never become possible: same reduction as isolation.
-	return v.pipe.IsolationTolerance(bypass, hdr), nil
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
+	}
+	k = InfiniteTolerance
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		reach := pipe.ReachBDD(s, pipe.OriginSet(pfx), hdr)
+		via := pipe.WaypointBDD(s, pipe.OriginSet(pfx), w, hdr)
+		bypass := pipe.Sp.M.Diff(reach, via)
+		// Bypass must never become possible: same reduction as isolation.
+		if t := pipe.IsolationTolerance(bypass, hdr); t < k {
+			k = t
+		}
+	}
+	return k, nil
 }
 
 // IsolationTolerance returns the failure tolerance of the property
 // "packets for prefix from srcRouter NEVER reach its originators":
 // the maximum k such that no combination of at most k failures deflects
 // traffic to the destination.
-func (v *Verifier) IsolationTolerance(srcRouter, prefix string) (int, error) {
+func (v *Verifier) IsolationTolerance(srcRouter, prefix string) (k int, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
-	return v.pipe.IsolationTolerance(prop, hdr), nil
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
+	}
+	k = InfiniteTolerance
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		prop := pipe.ReachBDD(s, pipe.OriginSet(pfx), hdr)
+		if t := pipe.IsolationTolerance(prop, hdr); t < k {
+			k = t
+		}
+	}
+	return k, nil
 }
 
 // LoadBalancedPaths returns the number of forwarding paths that carry
 // traffic from srcRouter to the prefix simultaneously when all links are
-// up (the paper's Loadbalance property holds for n ≤ this count).
-func (v *Verifier) LoadBalancedPaths(srcRouter, prefix string) (int, error) {
+// up (the paper's Loadbalance property holds for n ≤ this count). For a
+// prefix split across scoped pipelines by the degradation ladder, the
+// maximum over the halves is reported — a sound lower bound on the
+// union of paths.
+func (v *Verifier) LoadBalancedPaths(srcRouter, prefix string) (n int, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
 	}
-	return v.pipe.LoadBalancePaths(s, v.pipe.OriginSet(pfx), v.pipe.OwnedHeaders(pfx)), nil
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
+	}
+	for _, pipe := range pipes {
+		if c := pipe.LoadBalancePaths(s, pipe.OriginSet(pfx), pipe.OwnedHeaders(pfx)); c > n {
+			n = c
+		}
+	}
+	return n, nil
 }
 
 // FailureModel is a probabilistic failure model for Probability queries.
@@ -310,21 +439,32 @@ func NodeAndLinkFailures(pLinkDown, pNodeDown float64) FailureModel {
 // verifier was built with a bounded MaxFailures budget, the result is a
 // lower bound whose error is below the binomial tail P(more than
 // MaxFailures failures) (§7.1).
-func (v *Verifier) Probability(srcRouter, prefix string, model FailureModel) (float64, error) {
+func (v *Verifier) Probability(srcRouter, prefix string, model FailureModel) (p float64, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	prop := v.pipe.ReachBDD(s, v.pipe.OriginSet(pfx), hdr)
-	if model.nodes {
-		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown}))
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
 	}
-	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown}))
+	var results []analysis.ProbabilityResult
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		prop := pipe.ReachBDD(s, pipe.OriginSet(pfx), hdr)
+		if model.nodes {
+			results = append(results, pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})...)
+		} else {
+			results = append(results, pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})...)
+		}
+	}
+	return minProb(results)
 }
 
 // WaypointProbability is Probability for the waypoint property.
-func (v *Verifier) WaypointProbability(srcRouter, prefix, waypoint string, model FailureModel) (float64, error) {
+func (v *Verifier) WaypointProbability(srcRouter, prefix, waypoint string, model FailureModel) (p float64, err error) {
+	defer guard("analysis", v.tel, &err)
 	s, pfx, err := v.resolve(srcRouter, prefix)
 	if err != nil {
 		return 0, err
@@ -333,12 +473,21 @@ func (v *Verifier) WaypointProbability(srcRouter, prefix, waypoint string, model
 	if !ok {
 		return 0, fmt.Errorf("sre: unknown waypoint %q", waypoint)
 	}
-	hdr := v.pipe.OwnedHeaders(pfx)
-	prop := v.pipe.WaypointBDD(s, v.pipe.OriginSet(pfx), w, hdr)
-	if model.nodes {
-		return minProb(v.pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown}))
+	pipes, err := v.pipesFor(pfx)
+	if err != nil {
+		return 0, err
 	}
-	return minProb(v.pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown}))
+	var results []analysis.ProbabilityResult
+	for _, pipe := range pipes {
+		hdr := pipe.OwnedHeaders(pfx)
+		prop := pipe.WaypointBDD(s, pipe.OriginSet(pfx), w, hdr)
+		if model.nodes {
+			results = append(results, pipe.ProbabilityWithNodes(prop, prob.NodeModel{PLinkDown: model.linkDown, PNodeDown: model.nodeDown})...)
+		} else {
+			results = append(results, pipe.Probability(prop, prob.LinkModel{PDown: model.linkDown})...)
+		}
+	}
+	return minProb(results)
 }
 
 // ErrNoPFECs is returned by probability queries whose property BDD is
@@ -381,11 +530,20 @@ type PairKey = analysis.PairKey
 // MineSpecs mines reachability tolerances (plus isolation, waypoint and
 // load-balancing specs) for every (source, prefix) pair, exploring up to
 // maxFailures simultaneous failures with the paper's stratified
-// route/prefix pruning.
-func MineSpecs(net *Network, maxFailures int, opts Options) (*Specs, error) {
+// route/prefix pruning. Options.Context/Timeout bound the run;
+// Options.Resilient lets individual prefixes degrade (quarantine and
+// header-space splitting — never budget halving, which would corrupt
+// the stratification) instead of failing the whole mine, with per-prefix
+// outcomes reported in Specs.Outcomes.
+func MineSpecs(net *Network, maxFailures int, opts Options) (specs *Specs, err error) {
+	srcOpts, _, err := buildOpts(opts)
+	if err != nil {
+		return nil, err
+	}
+	srcOpts.PruneK = 0 // the miner sets the budget per stratum
 	mn := &analysis.Miner{Net: net, KMax: maxFailures,
-		SrcOpts: src.Options{Abstract: opts.Abstract, NoECMP: opts.NoECMP,
-			Telemetry: opts.telemetry()}}
+		SrcOpts: srcOpts, Resilient: opts.Resilient}
+	defer guard("mine", srcOpts.Telemetry, &err)
 	return mn.Mine()
 }
 
@@ -402,24 +560,29 @@ type Difference struct {
 // Diff compares two configurations over the product space of packets
 // and failures (up to maxFailures), returning the (source, prefix)
 // reachability differences, each with a concrete failure-scenario
-// witness and before/after tolerance and probability. Only the
-// telemetry-related fields of opts are consulted (both runs report into
-// the same registry); pass Options{} for the previous behaviour.
-func Diff(before, after *Network, maxFailures int, model FailureModel, opts Options) ([]Difference, error) {
+// witness and before/after tolerance and probability. Of opts, only the
+// telemetry fields (both runs report into the same registry), the
+// Context/Timeout budget, and BDDNodeLimit are consulted; pass Options{}
+// for the previous behaviour.
+func Diff(before, after *Network, maxFailures int, model FailureModel, opts Options) (out []Difference, err error) {
 	tel := opts.telemetry()
-	pb, err := analysis.Run(before, src.Options{PruneK: maxFailures, Telemetry: tel})
+	checker := resil.NewChecker(opts.Context, opts.Timeout, 0)
+	runOpts := src.Options{PruneK: maxFailures, Telemetry: tel,
+		Interrupt: checker.Fn(), BDDNodeLimit: opts.BDDNodeLimit}
+	defer guard("diff", tel, &err)
+	pb, err := analysis.Run(before, runOpts)
 	if err != nil {
 		return nil, err
 	}
 	defer pb.Release()
-	pa, err := analysis.Run(after, src.Options{PruneK: maxFailures, Telemetry: tel})
+	pa, err := analysis.Run(after, runOpts)
 	if err != nil {
 		return nil, err
 	}
 	defer pa.Release()
 	lm := prob.LinkModel{PDown: model.linkDown}
 	raw := analysis.DiffReachability(pb, pa, &lm)
-	out := make([]Difference, 0, len(raw))
+	out = make([]Difference, 0, len(raw))
 	for _, d := range raw {
 		diff := Difference{
 			Src:            after.Topology.Name(d.Src),
