@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"testing"
 
+	"sre"
 	"sre/internal/analysis"
 	"sre/internal/baselines"
 	"sre/internal/bdd"
@@ -381,3 +382,26 @@ func BenchmarkFig14_WaypointProbability(b *testing.B) {
 		}
 	})
 }
+
+// benchMultiPrefix builds a resilient verifier over every prefix of a
+// 4-ary fat tree under a BDD node limit — the workload of
+// srebench -exp parallel. At parallelism 1 this takes the sequential
+// group-bisection path; above 1 the internal/sched pool runs one
+// scoped pipeline per prefix, skipping the doomed oversized attempts,
+// so the parallel benchmark is faster even on a single core.
+func benchMultiPrefix(b *testing.B, parallelism int) {
+	net := workload.FatTree(4, workload.BGP)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, err := sre.NewVerifier(net, sre.Options{MaxFailures: 3, Resilient: true,
+			BDDNodeLimit: 80000, Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		v.Release()
+	}
+}
+
+func BenchmarkMultiPrefixSequential(b *testing.B) { benchMultiPrefix(b, 1) }
+
+func BenchmarkMultiPrefixParallel(b *testing.B) { benchMultiPrefix(b, 4) }

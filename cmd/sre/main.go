@@ -61,6 +61,7 @@ var (
 	timeoutFlag = flag.Duration("timeout", 0, "wall-clock budget for the run (e.g. 30s; 0 = none)")
 	resilient   = flag.Bool("resilient", false, "degrade gracefully when the BDD node table overflows: quarantine the offending prefix, retry it on the escalation ladder, and complete the rest")
 	nodeLimit   = flag.Int("nodelimit", 0, "BDD node table cap (0 = package default); overflowing it fails the run, or degrades it under -resilient")
+	parallel    = flag.Int("parallel", 0, "worker count for per-prefix parallel verification (0 = one per CPU, 1 = sequential)")
 )
 
 func usage() {
@@ -118,7 +119,7 @@ func main() {
 	tel := sre.NewTelemetry()
 	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
 		Telemetry: tel, Context: ctx, Timeout: *timeoutFlag, Resilient: *resilient,
-		BDDNodeLimit: *nodeLimit}
+		BDDNodeLimit: *nodeLimit, Parallelism: *parallel}
 	if *progress {
 		opts.Progress = sre.StderrProgress()
 	}

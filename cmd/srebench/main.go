@@ -12,7 +12,7 @@
 //	srebench -exp fig5 -scale paper -budget 300s
 //
 // Experiments: fig5 fig6 fig7 fig8 diff fig9 fig10 table2 fig11 table3
-// fig13 fig14.
+// fig13 fig14 parallel.
 package main
 
 import (
@@ -29,12 +29,13 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, all)")
+	expFlag    = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, parallel, all)")
 	scaleFlag  = flag.String("scale", "small", "workload scale: small (CI-friendly) or paper (full sizes; hours)")
 	budget     = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
 	seedFlag   = flag.Int64("seed", 1, "base seed for randomized selections")
 	metricsDir = flag.String("metricsdir", "", "write BENCH_<exp>.json files with per-cell metrics into this directory")
 	deadline   = flag.Duration("deadline", 0, "hard per-cell wall-clock deadline enforced inside the symbolic pipeline; an expired cell aborts with a deadline error instead of running away (0 = none). Unlike -budget, which skips future cells, -deadline interrupts a running one.")
+	parallelN  = flag.Int("parallel", 4, "worker count for the parallel experiment's concurrent cells (its baseline always runs at 1)")
 )
 
 // withResilience arms the -deadline budget on engine options. Each call
@@ -55,7 +56,16 @@ type benchRow struct {
 	PeakBDDNodes  int     `json:"peak_bdd_nodes,omitempty"`
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 	GCRuns        int     `json:"gc_runs,omitempty"`
-	Outcome       string  `json:"outcome"` // ok, bdd-limit, error, skipped
+	// Parallelism/Cores/Speedup/ResultsIdentical are set by the
+	// parallel experiment: the worker count of the cell, the CPUs the
+	// process could actually use, wall-clock ratio against the
+	// sequential baseline, and whether both runs returned identical
+	// per-prefix results.
+	Parallelism      int     `json:"parallelism,omitempty"`
+	Cores            int     `json:"cores,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	ResultsIdentical bool    `json:"results_identical,omitempty"`
+	Outcome          string  `json:"outcome"` // ok, bdd-limit, error, skipped
 }
 
 var benchRows []benchRow
@@ -122,10 +132,11 @@ func main() {
 		"table2": table2,
 		"fig11":  fig11,
 		"table3": table3,
-		"fig13":  fig13,
-		"fig14":  fig14,
+		"fig13":    fig13,
+		"fig14":    fig14,
+		"parallel": parallelExp,
 	}
-	order := []string{"fig5", "fig6", "fig7", "fig8", "diff", "fig9", "fig10", "table2", "fig11", "table3", "fig13", "fig14"}
+	order := []string{"fig5", "fig6", "fig7", "fig8", "diff", "fig9", "fig10", "table2", "fig11", "table3", "fig13", "fig14", "parallel"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name](sc)

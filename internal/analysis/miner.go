@@ -158,6 +158,15 @@ func (mn *Miner) Mine() (*Specs, error) {
 		stratumSpan.SetAttr("k", k)
 		stratumSpan.SetAttr("pairs", len(undecided))
 		stratumSpan.SetAttr("prefixes", len(prefixSet))
+		if workers := mn.stratumWorkers(); workers > 1 {
+			err := mn.mineStratumParallel(specs, undecided, &isolationCandidates, k, workers)
+			stratumSpan.End()
+			if err != nil {
+				return nil, fmt.Errorf("stratum %d: %w", k, err)
+			}
+			mn.StrataTimes = append(mn.StrataTimes, time.Since(start))
+			continue
+		}
 		opts := mn.SrcOpts
 		opts.PruneK = k
 		domain := sortedPrefixes(mn.expandForAggregates(prefixSet))
@@ -310,6 +319,9 @@ func (mn *Miner) confirmIsolation(specs *Specs, candidates []PairKey) error {
 	if len(candidates) == 0 {
 		return nil
 	}
+	if workers := mn.stratumWorkers(); workers > 1 {
+		return mn.confirmIsolationParallel(specs, candidates, workers)
+	}
 	prefixSet := make(map[route.Prefix]bool)
 	for _, key := range candidates {
 		prefixSet[key.Prefix] = true
@@ -364,22 +376,27 @@ func mergeOutcomes(specs *Specs, pt *Partitioned) {
 		if !o.Quarantined && !o.Degraded && o.Err == nil {
 			continue
 		}
-		prev, ok := specs.Outcomes[o.Prefix]
-		if !ok {
-			specs.Outcomes[o.Prefix] = o
-			continue
-		}
-		prev.Quarantined = prev.Quarantined || o.Quarantined
-		prev.Degraded = prev.Degraded || o.Degraded
-		prev.Rungs = append(prev.Rungs, o.Rungs...)
-		if prev.Err == nil {
-			prev.Err = o.Err
-		}
-		if o.EffectivePruneK < prev.EffectivePruneK {
-			prev.EffectivePruneK = o.EffectivePruneK
-		}
-		specs.Outcomes[o.Prefix] = prev
+		mergeOutcome(specs, o)
 	}
+}
+
+// mergeOutcome folds one prefix outcome into the spec summary.
+func mergeOutcome(specs *Specs, o PrefixOutcome) {
+	prev, ok := specs.Outcomes[o.Prefix]
+	if !ok {
+		specs.Outcomes[o.Prefix] = o
+		return
+	}
+	prev.Quarantined = prev.Quarantined || o.Quarantined
+	prev.Degraded = prev.Degraded || o.Degraded
+	prev.Rungs = append(prev.Rungs, o.Rungs...)
+	if prev.Err == nil {
+		prev.Err = o.Err
+	}
+	if o.EffectivePruneK < prev.EffectivePruneK {
+		prev.EffectivePruneK = o.EffectivePruneK
+	}
+	specs.Outcomes[o.Prefix] = prev
 }
 
 // expandForAggregates widens a prefix set with the originated

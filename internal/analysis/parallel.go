@@ -1,0 +1,383 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/resil"
+	"sre/internal/route"
+	"sre/internal/sched"
+	"sre/internal/src"
+)
+
+// Workers resolves the effective worker count of opts.Parallelism:
+// positive values verbatim, 0 the runtime default.
+func Workers(opts src.Options) int {
+	if opts.Parallelism > 0 {
+		return opts.Parallelism
+	}
+	return sched.DefaultWorkers()
+}
+
+// PrefixCost estimates the relative analysis cost of one prefix: the
+// sum of its origin routers' degrees (origin-set size × mean topology
+// degree). More origins and denser attachment points mean more routes,
+// more ECMP tiers, and bigger PFEC predicates; the estimate only needs
+// to rank prefixes so the scheduler starts the long poles first.
+func PrefixCost(net *config.Network, pfx route.Prefix) int64 {
+	t := net.Topology
+	cost := int64(0)
+	for _, o := range net.OriginsOf(pfx) {
+		cost += int64(len(t.Neighbors(o)))
+	}
+	if cost == 0 {
+		cost = 1
+	}
+	return cost
+}
+
+// taskDomain is the prefix set one per-prefix task computes routes for:
+// the prefix itself, closed over two dependency relations so the scoped
+// pipeline forwards exactly like the combined one would inside the
+// task's scope:
+//
+//   - overlapping originated prefixes: a covering prefix supplies the
+//     longest-prefix-match fallback route when the task prefix's own
+//     route is withdrawn under failures, and a covered prefix attracts
+//     the more-specific slice of the scope away from the task prefix's
+//     route;
+//   - configured BGP aggregation: the originated contributors of any
+//     aggregate in the set (so the aggregate can still be generated)
+//     and any configured aggregate covering a member.
+//
+// Networks with disjoint prefixes and no aggregates — the common case —
+// get the singleton {pfx}.
+func taskDomain(net *config.Network, pfx route.Prefix) []route.Prefix {
+	set := map[route.Prefix]bool{pfx: true}
+	for changed := true; changed; {
+		changed = false
+		for p := range set {
+			for _, other := range net.AllPrefixes() {
+				if !set[other] && p.Overlaps(other) {
+					set[other] = true
+					changed = true
+				}
+			}
+			if changed {
+				break // set mutated: restart iteration
+			}
+		}
+		for _, rc := range net.Routers {
+			if rc.BGP == nil {
+				continue
+			}
+			for _, agg := range rc.BGP.Aggregates {
+				covers := set[agg]
+				for p := range set {
+					if agg.Covers(p) && p != agg {
+						covers = true
+					}
+				}
+				if !covers {
+					continue
+				}
+				if !set[agg] {
+					set[agg] = true
+					changed = true
+				}
+				for _, contrib := range net.AllPrefixes() {
+					if agg.Covers(contrib) && contrib != agg && !set[contrib] {
+						set[contrib] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return sortedPrefixes(set)
+}
+
+// prefixRunner drives one task chain per prefix over a sched.Pool: a
+// scoped singleton pipeline first, then (when the ladder is enabled)
+// the same escalation rungs RunPartitioned climbs sequentially —
+// abstract, halve-budget, split-headers — each rung submitted as a
+// fresh pool task so a degraded prefix re-enters the queue behind
+// other prefixes instead of serializing the tail.
+type prefixRunner struct {
+	net    *config.Network
+	base   src.Options
+	ladder bool // escalate recoverable overflows instead of aborting
+	lad    LadderOptions
+
+	// collect receives each finished prefix: its pipelines (nil when
+	// the ladder was exhausted) and outcome. It is called from worker
+	// goroutines and must synchronize its own shared state; per-task
+	// work (evaluating properties on the delivered pipelines) should
+	// happen inside it, off any global lock.
+	collect func(pfx route.Prefix, pipes []*Pipeline, out PrefixOutcome)
+}
+
+// run schedules every prefix of domain on a fresh pool and waits. The
+// first non-recoverable error aborts: queued prefixes are dropped,
+// collected pipelines are released, and the error is returned.
+func (pr *prefixRunner) run(domain []route.Prefix, workers int) error {
+	pool := sched.New(sched.Config{
+		Workers:   workers,
+		Interrupt: pr.base.Interrupt,
+		Telemetry: pr.base.Telemetry,
+	})
+	jobs := make([]*prefixJob, 0, len(domain))
+	seen := make(map[route.Prefix]bool, len(domain))
+	for _, pfx := range domain {
+		if seen[pfx] {
+			continue
+		}
+		seen[pfx] = true
+		jobs = append(jobs, newPrefixJob(pr, pfx))
+	}
+	// Largest first: round-robin seeding then puts the most expensive
+	// prefixes at the head of every worker queue (LPT scheduling).
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
+	for _, j := range jobs {
+		j := j
+		pool.Go(j.cost, j.step)
+	}
+	// Errors raised inside a task already carry the pipeline stage that
+	// was interrupted; Stage keeps those. Only the pool's own interrupt
+	// poll — between tasks — surfaces untagged, and gets "schedule".
+	return resil.Stage("schedule", pool.Wait())
+}
+
+// rungAttempt is one precomputed escalation attempt. The sequence —
+// including the option mutations each rung inherits from the previous
+// ones — is fixed up front, mirroring RunPartitioned's sequential
+// ladder, so results cannot depend on scheduling order.
+type rungAttempt struct {
+	name  string
+	opts  src.Options
+	kDone int  // EffectivePruneK recorded when this rung succeeds
+	split bool // split-headers: two scoped half pipelines
+}
+
+// prefixJob carries one prefix through its attempt chain. Each step is
+// one pool task; follow-up rungs are resubmitted via Worker.Submit.
+type prefixJob struct {
+	r       *prefixRunner
+	pfx     route.Prefix
+	domain  []route.Prefix
+	cost    int64
+	out     PrefixOutcome
+	rungs   []rungAttempt
+	idx     int // 0 = initial attempt, i>0 = rungs[i-1]
+	lastErr error
+}
+
+func newPrefixJob(pr *prefixRunner, pfx route.Prefix) *prefixJob {
+	j := &prefixJob{r: pr, pfx: pfx,
+		domain: taskDomain(pr.net, pfx),
+		cost:   PrefixCost(pr.net, pfx),
+		out:    PrefixOutcome{Prefix: pfx, EffectivePruneK: pr.base.PruneK},
+	}
+	if !pr.ladder {
+		return j
+	}
+	// Precompute the rung sequence with the same option threading as
+	// the sequential ladder: Abstract sticks after rung 1, halved
+	// budgets stick for later rungs, split-headers inherits both.
+	o := pr.base
+	if !o.Abstract {
+		o.Abstract = true
+		j.rungs = append(j.rungs, rungAttempt{name: RungAbstract, opts: o, kDone: o.PruneK})
+	}
+	if !pr.lad.DisableBudgetHalving {
+		for k := o.PruneK / 2; o.PruneK > 0; k /= 2 {
+			o.PruneK = k
+			j.rungs = append(j.rungs, rungAttempt{name: RungHalveBudget, opts: o, kDone: k})
+			if k == 0 {
+				break
+			}
+		}
+	}
+	if _, _, ok := pfx.Halves(); ok {
+		j.rungs = append(j.rungs, rungAttempt{name: RungSplitHeaders, opts: o, kDone: o.PruneK, split: true})
+	}
+	return j
+}
+
+// step executes the job's next attempt. A nil return means the job
+// either finished (success or ladder exhausted) or resubmitted itself;
+// a non-nil return aborts the pool.
+func (j *prefixJob) step(w *sched.Worker) error {
+	if j.idx == 0 {
+		o := j.r.base
+		o.Telemetry = w.Tel
+		o.Prefixes = j.domain
+		pipe, err := RunScoped(j.r.net, o, j.pfx)
+		if err == nil {
+			j.deliver(w, []*Pipeline{pipe})
+			return nil
+		}
+		if !recoverable(err) || !j.r.ladder {
+			return err
+		}
+		j.out.Quarantined = true
+		w.Tel.Counter("resilience.quarantined").Inc()
+		j.lastErr = err
+		return j.next(w)
+	}
+
+	r := j.rungs[j.idx-1]
+	o := r.opts
+	o.Telemetry = w.Tel
+	o.Prefixes = j.domain
+	if !r.split {
+		w.Tel.Counter("resilience.retries").Inc()
+		j.out.Rungs = append(j.out.Rungs, r.name)
+		j.emit(w, fmt.Sprintf("prefix %s: retrying on rung %q", j.pfx, r.name))
+		pipe, err := RunScoped(j.r.net, o, j.pfx)
+		if err == nil {
+			j.degrade(w, r.kDone)
+			j.deliver(w, []*Pipeline{pipe})
+			return nil
+		}
+		if !recoverable(err) {
+			return err
+		}
+		j.lastErr = err
+		return j.next(w)
+	}
+
+	// Split-headers: both scoped halves must succeed.
+	lo, hi, _ := j.pfx.Halves()
+	j.out.Rungs = append(j.out.Rungs, RungSplitHeaders)
+	var halves []*Pipeline
+	for _, half := range []route.Prefix{lo, hi} {
+		w.Tel.Counter("resilience.retries").Inc()
+		j.emit(w, fmt.Sprintf("prefix %s: retrying scoped to %s", j.pfx, half))
+		pipe, err := RunScoped(j.r.net, o, half)
+		if err != nil {
+			for _, p := range halves {
+				p.Release()
+			}
+			if !recoverable(err) {
+				return err
+			}
+			j.lastErr = err
+			return j.next(w)
+		}
+		halves = append(halves, pipe)
+	}
+	j.degrade(w, r.kDone)
+	j.deliver(w, halves)
+	return nil
+}
+
+// next advances to the following rung, resubmitting the job, or fails
+// the prefix when the ladder is exhausted.
+func (j *prefixJob) next(w *sched.Worker) error {
+	j.idx++
+	if j.idx > len(j.rungs) {
+		j.out.Err = j.lastErr
+		w.Tel.Counter("resilience.failed").Inc()
+		j.emit(w, fmt.Sprintf("prefix %s: failed after %d rungs: %v", j.pfx, len(j.out.Rungs), j.lastErr))
+		j.deliver(w, nil)
+		return nil
+	}
+	w.Submit(j.cost, j.step)
+	return nil
+}
+
+func (j *prefixJob) degrade(w *sched.Worker, k int) {
+	j.out.Degraded = true
+	j.out.EffectivePruneK = k
+	w.Tel.Counter("resilience.degraded").Inc()
+}
+
+func (j *prefixJob) deliver(w *sched.Worker, pipes []*Pipeline) {
+	j.r.collect(j.pfx, pipes, j.out)
+}
+
+func (j *prefixJob) emit(w *sched.Worker, detail string) {
+	if w.Tel.Active() {
+		w.Tel.Emit(obs.Event{Stage: "resilience", Detail: detail})
+	}
+}
+
+// runPartitionedParallel is the concurrent sibling of RunPartitioned:
+// per-prefix scoped pipelines scheduled cost-first on a worker pool,
+// ladder retries re-entering the queue as fresh tasks. Groups, like the
+// sequential runner's outcome maps, are assembled in prefix order, so
+// results do not depend on completion order.
+func runPartitionedParallel(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions, workers int) (*Partitioned, error) {
+	pt := &Partitioned{
+		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),
+		byPrefix: make(map[route.Prefix][]*Pipeline, len(prefixes)),
+	}
+	for _, pfx := range prefixes {
+		pt.outcomes[pfx] = &PrefixOutcome{Prefix: pfx, EffectivePruneK: opts.PruneK}
+	}
+	var mu sync.Mutex
+	pr := &prefixRunner{net: net, base: opts, ladder: true, lad: lad,
+		collect: func(pfx route.Prefix, pipes []*Pipeline, out PrefixOutcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			*pt.outcomes[pfx] = out
+			pt.byPrefix[pfx] = pipes
+		},
+	}
+	if err := pr.run(prefixes, workers); err != nil {
+		pt.Release()
+		return nil, err
+	}
+	for _, pfx := range sortedPrefixList(prefixes) {
+		pt.Groups = append(pt.Groups, pt.byPrefix[pfx]...)
+	}
+	return pt, nil
+}
+
+// RunSharded executes a non-resilient multi-prefix analysis on a worker
+// pool: one scoped pipeline per prefix, no escalation ladder — the
+// first error (including node-table overflow) aborts the run, exactly
+// like the combined Run it replaces. The returned Partitioned has a
+// clean outcome and one pipeline per prefix, in prefix order.
+func RunSharded(net *config.Network, opts src.Options, prefixes []route.Prefix, workers int) (*Partitioned, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("analysis: sharded run needs at least one prefix")
+	}
+	pt := &Partitioned{
+		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),
+		byPrefix: make(map[route.Prefix][]*Pipeline, len(prefixes)),
+	}
+	for _, pfx := range prefixes {
+		pt.outcomes[pfx] = &PrefixOutcome{Prefix: pfx, EffectivePruneK: opts.PruneK}
+	}
+	var mu sync.Mutex
+	pr := &prefixRunner{net: net, base: opts,
+		collect: func(pfx route.Prefix, pipes []*Pipeline, out PrefixOutcome) {
+			mu.Lock()
+			defer mu.Unlock()
+			pt.byPrefix[pfx] = pipes
+		},
+	}
+	if err := pr.run(prefixes, workers); err != nil {
+		pt.Release()
+		return nil, err
+	}
+	for _, pfx := range sortedPrefixList(prefixes) {
+		pt.Groups = append(pt.Groups, pt.byPrefix[pfx]...)
+	}
+	return pt, nil
+}
+
+// sortedPrefixList returns a deduplicated copy of prefixes in canonical
+// (Addr, Len) order.
+func sortedPrefixList(prefixes []route.Prefix) []route.Prefix {
+	set := make(map[route.Prefix]bool, len(prefixes))
+	for _, p := range prefixes {
+		set[p] = true
+	}
+	return sortedPrefixes(set)
+}

@@ -109,23 +109,42 @@ type LadderOptions struct {
 	DisableBudgetHalving bool
 }
 
-// RunPartitioned executes a multi-prefix analysis resiliently: all
-// prefixes are first attempted in one pipeline; when the BDD node
-// table overflows, the prefix set is bisected and retried so the
-// overflow is isolated to the offending prefix(es), and each offender
-// is pushed through an escalation ladder — enable Abstract, halve the
-// failure budget, split the prefix's header space — before being
-// marked failed. The run always completes with per-prefix outcomes
-// unless it is canceled, times out, or hits a non-resource error,
-// which aborts the whole run.
+// recoverable reports whether err should trigger degradation (node
+// table overflow) as opposed to aborting the run (cancellation,
+// deadline, non-convergence, config errors).
+func recoverable(err error) bool {
+	return errors.Is(err, bdd.ErrNodeLimit) && !resil.Interruption(err)
+}
+
+// RunPartitioned executes a multi-prefix analysis resiliently. With
+// opts.Parallelism resolving to one worker, all prefixes are first
+// attempted in one pipeline; when the BDD node table overflows, the
+// prefix set is bisected and retried so the overflow is isolated to
+// the offending prefix(es), and each offender is pushed through an
+// escalation ladder — enable Abstract, halve the failure budget, split
+// the prefix's header space — before being marked failed. With more
+// workers, each prefix runs as its own scoped pipeline on a
+// work-stealing pool (largest estimated cost first) and overflowing
+// prefixes climb the same ladder as re-queued pool tasks; outcomes and
+// groups are assembled in prefix order, so results do not depend on
+// completion order. Either way the run always completes with
+// per-prefix outcomes unless it is canceled, times out, or hits a
+// non-resource error, which aborts the whole run.
 //
 // opts.Prefixes is ignored; the explicit prefixes argument is the
-// partitioning domain. Telemetry counters: resilience.retries (group
-// bisections and ladder attempts), resilience.quarantined (prefixes
-// isolated after a shared overflow), resilience.degraded (prefixes
-// verified on a ladder rung), resilience.failed (prefixes that
-// exhausted the ladder).
+// partitioning domain. With several workers opts.Interrupt must be
+// safe for concurrent use (resil.SharedChecker.Fn). Telemetry
+// counters: resilience.retries (group bisections and ladder attempts),
+// resilience.quarantined (prefixes isolated after a shared overflow),
+// resilience.degraded (prefixes verified on a ladder rung),
+// resilience.failed (prefixes that exhausted the ladder).
 func RunPartitioned(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions) (*Partitioned, error) {
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("analysis: partitioned run needs at least one prefix")
+	}
+	if w := Workers(opts); w > 1 {
+		return runPartitionedParallel(net, opts, prefixes, lad, w)
+	}
 	pt := &Partitioned{
 		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),
 		byPrefix: make(map[route.Prefix][]*Pipeline, len(prefixes)),
@@ -143,13 +162,6 @@ func RunPartitioned(net *config.Network, opts src.Options, prefixes []route.Pref
 		if tel.Active() {
 			tel.Emit(obs.Event{Stage: "resilience", Detail: detail})
 		}
-	}
-
-	// recoverable reports whether err should trigger degradation (node
-	// table overflow) as opposed to aborting the run (cancellation,
-	// deadline, non-convergence, config errors).
-	recoverable := func(err error) bool {
-		return errors.Is(err, bdd.ErrNodeLimit) && !resil.Interruption(err)
 	}
 
 	addGroup := func(pipe *Pipeline, group []route.Prefix) {
@@ -297,9 +309,6 @@ func RunPartitioned(net *config.Network, opts src.Options, prefixes []route.Pref
 		return runGroup(group[mid:])
 	}
 
-	if len(prefixes) == 0 {
-		return nil, fmt.Errorf("analysis: partitioned run needs at least one prefix")
-	}
 	if err := runGroup(prefixes); err != nil {
 		pt.Release()
 		return nil, err

@@ -273,6 +273,81 @@ func (t *Telemetry) Histogram(name string) *Histogram {
 	return h
 }
 
+// Shard creates a child registry for one worker of a parallel run. The
+// shard has its own instrument maps — updates touch no shared state, so
+// workers never contend on the parent's lock or cachelines — but
+// forwards progress events to the parent's sink (sinks must be safe for
+// concurrent use, which the package's sinks are). Fold a finished
+// shard back with Merge. Returns nil on a nil registry.
+func (t *Telemetry) Shard() *Telemetry {
+	if t == nil {
+		return nil
+	}
+	s := New()
+	s.SetSink(SinkFunc(t.Emit))
+	return s
+}
+
+// Merge folds the instruments of a shard into t: counters add, gauges
+// merge by maximum (they track high-water marks across managers),
+// histograms merge bucket-wise, and root spans are appended. Call it
+// after the shard's worker has stopped updating; Merge itself is safe
+// to call concurrently with reads of t.
+func (t *Telemetry) Merge(s *Telemetry) {
+	if t == nil || s == nil {
+		return
+	}
+	s.mu.Lock()
+	counters := make(map[string]*Counter, len(s.counters))
+	for k, v := range s.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(s.gauges))
+	for k, v := range s.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(s.hists))
+	for k, v := range s.hists {
+		hists[k] = v
+	}
+	roots := append([]*Span(nil), s.roots...)
+	s.mu.Unlock()
+
+	for k, c := range counters {
+		t.Counter(k).Add(c.Value())
+	}
+	for k, g := range gauges {
+		t.Gauge(k).Max(g.Value())
+	}
+	for k, h := range hists {
+		t.Histogram(k).merge(h)
+	}
+	if len(roots) > 0 {
+		t.mu.Lock()
+		t.roots = append(t.roots, roots...)
+		t.mu.Unlock()
+	}
+}
+
+// merge folds src into h bucket-wise.
+func (h *Histogram) merge(src *Histogram) {
+	if h == nil || src == nil {
+		return
+	}
+	h.count.Add(src.count.Load())
+	h.sum.Add(src.sum.Load())
+	for {
+		v := src.max.Load()
+		old := h.max.Load()
+		if old >= v || h.max.CompareAndSwap(old, v) {
+			break
+		}
+	}
+	for i := 0; i < histBuckets; i++ {
+		h.buckets[i].Add(src.buckets[i].Load())
+	}
+}
+
 // Report is the JSON snapshot of a telemetry registry.
 type Report struct {
 	Counters   map[string]int64             `json:"counters"`

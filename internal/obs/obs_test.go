@@ -215,3 +215,71 @@ func TestSpanDuration(t *testing.T) {
 		t.Errorf("attr overwrite failed: %+v", snap.Spans[0].Attrs)
 	}
 }
+
+// TestShardMerge covers the worker-shard lifecycle used by the
+// scheduler: per-worker registries collect independently, then fold
+// into the parent — counters add, gauges keep the high-water mark,
+// histograms merge bucket-wise, and root spans are appended.
+func TestShardMerge(t *testing.T) {
+	parent := New()
+	parent.Counter("c").Add(1)
+	a, b := parent.Shard(), parent.Shard()
+	a.Counter("c").Add(3)
+	b.Counter("c").Add(4)
+	a.Gauge("g").Max(10)
+	b.Gauge("g").Max(7)
+	for i := 0; i < 5; i++ {
+		a.Histogram("h").Observe(8)
+		b.Histogram("h").Observe(64)
+	}
+	a.Start("pipeline").End()
+	parent.Merge(a)
+	parent.Merge(b)
+	snap := parent.Snapshot()
+	if got := snap.Counters["c"]; got != 8 {
+		t.Errorf("merged counter = %d, want 1+3+4", got)
+	}
+	if got := snap.Gauges["g"]; got != 10 {
+		t.Errorf("merged gauge = %v, want max 10", got)
+	}
+	h := snap.Histograms["h"]
+	if h.Count != 10 || h.Sum != 5*8+5*64 || h.Max != 64 {
+		t.Errorf("merged histogram = %+v, want count 10 sum 360 max 64", h)
+	}
+	if len(snap.Spans) != 1 || snap.Spans[0].Name != "pipeline" {
+		t.Errorf("merged spans = %+v, want the shard's root span", snap.Spans)
+	}
+}
+
+// TestShardEmitForwards checks that events emitted on a shard reach the
+// parent's sink: live progress keeps flowing while workers run, before
+// any merge happens.
+func TestShardEmitForwards(t *testing.T) {
+	parent := New()
+	var mu sync.Mutex
+	var got []Event
+	parent.SetSink(SinkFunc(func(e Event) {
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	}))
+	shard := parent.Shard()
+	shard.Emit(Event{Stage: "src", Done: 1, Total: 2})
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 1 || got[0].Stage != "src" {
+		t.Fatalf("parent sink saw %+v, want the shard's event", got)
+	}
+}
+
+// TestNilShardMerge: a nil registry shards to nil and merging nil is a
+// no-op, so disabled telemetry costs nothing in the pool.
+func TestNilShardMerge(t *testing.T) {
+	var tel *Telemetry
+	if s := tel.Shard(); s != nil {
+		t.Fatal("nil telemetry must shard to nil")
+	}
+	tel.Merge(nil) // must not panic
+	parent := New()
+	parent.Merge(nil) // must not panic
+}

@@ -14,6 +14,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 )
 
@@ -178,6 +179,75 @@ func (c *Checker) Check() error {
 // loop, the analysis stage boundaries — already amortize with their
 // own step counters, and stage boundaries need the immediate verdict.
 func (c *Checker) Fn() func() error {
+	if c == nil {
+		return nil
+	}
+	return c.Check
+}
+
+// SharedChecker is the concurrent counterpart of Checker: one
+// context/deadline poll shared by every worker of a parallel run. Like
+// Checker it is sticky — once tripped, all workers observe the same
+// error — but trip detection and the sticky slot use atomics, so Check
+// may be called from any number of goroutines. A nil *SharedChecker is
+// the no-op checker.
+//
+// There is no amortized Poll: the layers that poll the hook (BDD
+// manager, engine activation loop, stage boundaries) amortize with
+// their own step counters, exactly as with Checker.Fn.
+type SharedChecker struct {
+	ctx      context.Context
+	deadline time.Time
+	timeout  time.Duration
+	err      atomic.Pointer[error]
+}
+
+// NewSharedChecker builds a shared checker for the given context and
+// timeout. Either may be absent; when both are absent it returns nil —
+// the no-op checker.
+func NewSharedChecker(ctx context.Context, timeout time.Duration) *SharedChecker {
+	if ctx == nil && timeout <= 0 {
+		return nil
+	}
+	c := &SharedChecker{ctx: ctx, timeout: timeout}
+	if timeout > 0 {
+		c.deadline = time.Now().Add(timeout)
+	}
+	return c
+}
+
+// Check consults the context and clock immediately. Safe for concurrent
+// use; every caller after the first trip observes the same error.
+func (c *SharedChecker) Check() error {
+	if c == nil {
+		return nil
+	}
+	if p := c.err.Load(); p != nil {
+		return *p
+	}
+	var tripped error
+	if c.ctx != nil {
+		if err := c.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				tripped = fmt.Errorf("%w (context deadline)", ErrDeadline)
+			} else {
+				tripped = fmt.Errorf("%w: %v", ErrCanceled, err)
+			}
+		}
+	}
+	if tripped == nil && !c.deadline.IsZero() && time.Now().After(c.deadline) {
+		tripped = fmt.Errorf("%w (budget %s)", ErrDeadline, c.timeout)
+	}
+	if tripped == nil {
+		return nil
+	}
+	// First writer wins so every caller sees one identical error value.
+	c.err.CompareAndSwap(nil, &tripped)
+	return *c.err.Load()
+}
+
+// Fn returns Check as a plain func, or nil on a nil checker.
+func (c *SharedChecker) Fn() func() error {
 	if c == nil {
 		return nil
 	}

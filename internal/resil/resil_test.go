@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -86,5 +87,72 @@ func TestStageErrorRouters(t *testing.T) {
 	}
 	if !Interruption(ErrCanceled) || !Interruption(ErrDeadline) || Interruption(ErrNoConvergence) {
 		t.Fatal("Interruption classification wrong")
+	}
+}
+
+func TestNilSharedCheckerIsNoop(t *testing.T) {
+	var c *SharedChecker
+	if c.Check() != nil || c.Fn() != nil {
+		t.Fatal("nil shared checker must be a no-op")
+	}
+	if NewSharedChecker(nil, 0) != nil {
+		t.Fatal("NewSharedChecker with no context and no timeout should return nil")
+	}
+}
+
+func TestSharedCheckerCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	c := NewSharedChecker(ctx, 0)
+	if err := c.Check(); err != nil {
+		t.Fatalf("premature trip: %v", err)
+	}
+	cancel()
+	if err := c.Check(); !errors.Is(err, ErrCanceled) {
+		t.Fatalf("got %v, want ErrCanceled", err)
+	}
+}
+
+func TestSharedCheckerDeadline(t *testing.T) {
+	c := NewSharedChecker(nil, time.Nanosecond)
+	time.Sleep(time.Millisecond)
+	if err := c.Check(); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+}
+
+// TestSharedCheckerConcurrent trips the checker while many goroutines
+// poll it: every caller after the trip must observe the SAME error
+// value (first writer wins), and -race vets the implementation.
+func TestSharedCheckerConcurrent(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	c := NewSharedChecker(ctx, 0)
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := range errs {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; ; j++ {
+				if err := c.Check(); err != nil {
+					errs[i] = err
+					return
+				}
+				if j == 0 {
+					cancel()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	first := errs[0]
+	for i, err := range errs {
+		if !errors.Is(err, ErrCanceled) {
+			t.Fatalf("goroutine %d got %v, want ErrCanceled", i, err)
+		}
+		if err != first {
+			t.Fatalf("goroutine %d observed a different error instance: %v vs %v", i, err, first)
+		}
 	}
 }

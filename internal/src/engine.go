@@ -22,6 +22,7 @@ package src
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"sre/internal/bdd"
@@ -76,6 +77,13 @@ type Options struct {
 	// engine's behalf (analysis.Run and the miner; engines given an
 	// explicit space ignore it). Zero means the bdd package default.
 	BDDNodeLimit int
+	// Parallelism is the worker count of the multi-prefix drivers built
+	// on top of the engine (the partitioned runner and the spec miner),
+	// which run per-prefix pipelines concurrently — each worker with
+	// its own engine and BDD manager. 0 means runtime.GOMAXPROCS(0);
+	// 1 selects the sequential code paths. A single engine is always
+	// single-threaded and ignores the field.
+	Parallelism int
 }
 
 // SymRoute is a symbolic route: a concrete route plus its topology
@@ -698,15 +706,16 @@ func (e *Engine) updateAggregate(r topology.RouterID, agg route.Prefix) bool {
 }
 
 // insertSorted inserts sr into list keeping (Compare, Tiebreak) order.
+// The insertion point is found by binary search — routers accumulate
+// hundreds of symbolic routes per prefix on dense fabrics, and the
+// linear scan made RIB maintenance quadratic in that count. Equal
+// routes keep their insertion order (the predicate is strict), matching
+// the previous linear scan exactly.
 func insertSorted(list []*SymRoute, sr *SymRoute) []*SymRoute {
-	pos := len(list)
-	for i, cur := range list {
-		c := route.Compare(sr.Route, cur.Route)
-		if c < 0 || (c == 0 && route.Tiebreak(sr.Route, cur.Route) < 0) {
-			pos = i
-			break
-		}
-	}
+	pos := sort.Search(len(list), func(i int) bool {
+		c := route.Compare(sr.Route, list[i].Route)
+		return c < 0 || (c == 0 && route.Tiebreak(sr.Route, list[i].Route) < 0)
+	})
 	list = append(list, nil)
 	copy(list[pos+1:], list[pos:])
 	list[pos] = sr

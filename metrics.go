@@ -122,6 +122,14 @@ func (v *Verifier) Metrics() MetricsReport {
 		for _, pipe := range v.allPipes() {
 			pipe.Sp.M.SampleTelemetry()
 		}
+		// Multi-pipeline runs sample each manager into its own (already
+		// merged) worker shard, where gauges combine by Max; the report
+		// sums. Publish the summed node figures on the verifier's own
+		// registry so the snapshot matches the stats regardless of how
+		// many managers contributed.
+		v.tel.Gauge("bdd.live_nodes").Set(float64(r.BDD.LiveNodes))
+		v.tel.Gauge("bdd.peak_nodes").Set(float64(r.BDD.PeakNodes))
+		v.tel.Gauge("bdd.free_nodes").Set(float64(r.BDD.FreeNodes))
 		rep := v.tel.Snapshot()
 		r.Telemetry = &rep
 	}

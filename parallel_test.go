@@ -1,0 +1,96 @@
+package sre_test
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"sre"
+	"sre/internal/workload"
+)
+
+// fatTreeRun builds a resilient verifier over every prefix of a 4-ary
+// fat tree at the given parallelism and condenses everything the public
+// API observes: the per-prefix outcomes, the total PFEC count, and an
+// all-prefix tolerance sweep from one edge router.
+func fatTreeRun(t *testing.T, parallelism int) ([]sre.PrefixOutcome, int, []sre.PrefixResult) {
+	t.Helper()
+	net := workload.FatTree(4, workload.BGP)
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: 2, Resilient: true, Parallelism: parallelism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	outs := v.Outcomes()
+	numPFECs := v.Metrics().NumPFECs
+	sweep, err := v.FailureTolerances("edge0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, numPFECs, sweep
+}
+
+// TestParallelDeterminism pins the scheduler's core contract: the same
+// verification at parallelism 1 (the sequential path), 2, and 8 returns
+// identical outcomes, PFEC counts, and tolerances — results depend on
+// the network, never on the worker count or completion order.
+func TestParallelDeterminism(t *testing.T) {
+	baseOuts, basePFECs, baseSweep := fatTreeRun(t, 1)
+	if len(baseOuts) == 0 {
+		t.Fatal("resilient run reported no outcomes")
+	}
+	for _, p := range []int{2, 8} {
+		outs, pfecs, sweep := fatTreeRun(t, p)
+		if !reflect.DeepEqual(outs, baseOuts) {
+			t.Errorf("parallelism %d: outcomes diverge\n got %+v\nwant %+v", p, outs, baseOuts)
+		}
+		if pfecs != basePFECs {
+			t.Errorf("parallelism %d: NumPFECs = %d, sequential %d", p, pfecs, basePFECs)
+		}
+		if !reflect.DeepEqual(sweep, baseSweep) {
+			t.Errorf("parallelism %d: tolerance sweep diverges\n got %+v\nwant %+v", p, sweep, baseSweep)
+		}
+	}
+}
+
+// TestParallelMiningDeterminism runs the stratified miner at several
+// worker counts: the mined specifications must be identical maps.
+func TestParallelMiningDeterminism(t *testing.T) {
+	net := workload.FatTree(4, workload.BGP)
+	base, err := sre.MineSpecs(net, 2, sre.Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(base.ReachTolerance) == 0 {
+		t.Fatal("miner decided no pairs")
+	}
+	for _, p := range []int{2, 8} {
+		specs, err := sre.MineSpecs(net, 2, sre.Options{Parallelism: p})
+		if err != nil {
+			t.Fatalf("parallelism %d: %v", p, err)
+		}
+		if !reflect.DeepEqual(specs, base) {
+			t.Errorf("parallelism %d: mined specs diverge\n got %+v\nwant %+v", p, specs, base)
+		}
+	}
+}
+
+// TestParallelDeadlineCarriesStage forces the deadline to expire inside
+// a parallel run: the error must be a deadline interruption and carry
+// the stage it interrupted, exactly like the sequential path.
+func TestParallelDeadlineCarriesStage(t *testing.T) {
+	net := workload.FatTree(4, workload.BGP)
+	_, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: -1, Timeout: time.Nanosecond, Resilient: true, Parallelism: 4})
+	if err == nil {
+		t.Fatal("nanosecond deadline did not expire")
+	}
+	if !errors.Is(err, sre.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", err)
+	}
+	if sre.ErrStage(err) == "" {
+		t.Errorf("deadline error should carry the interrupted stage: %v", err)
+	}
+}

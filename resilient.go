@@ -22,7 +22,7 @@ const (
 // Outcomes returns the per-prefix outcomes of a resilient run, sorted by
 // prefix. It returns nil for verifiers built without Options.Resilient.
 func (v *Verifier) Outcomes() []PrefixOutcome {
-	if v.part == nil {
+	if !v.resilient || v.part == nil {
 		return nil
 	}
 	return v.part.Outcomes()

@@ -109,6 +109,16 @@ type Options struct {
 	// expires mid-run the pipeline aborts with an error matching
 	// ErrDeadline. Zero means no budget.
 	Timeout time.Duration
+	// Parallelism is the number of workers used to run multi-prefix
+	// verification and mining: prefixes are analyzed as independent
+	// prefix-scoped pipelines (§7.2 makes the decomposition sound) on
+	// a work-stealing pool, largest first, each worker with its own
+	// BDD manager. 0 (the default) uses runtime.GOMAXPROCS(0); 1
+	// selects the sequential code paths and produces byte-identical
+	// behaviour to previous releases. Results are deterministic at any
+	// setting: outcomes, merged pipelines, and mined specs are ordered
+	// by prefix, never by completion order.
+	Parallelism int
 	// Resilient enables graceful degradation for multi-prefix runs.
 	// Instead of failing the whole run when the BDD node table
 	// overflows, the offending prefix is quarantined and retried
@@ -154,12 +164,17 @@ var ErrBDDLimit = bdd.ErrNodeLimit
 // PFECs, ready for property analysis.
 type Verifier struct {
 	net *Network
-	// Exactly one of pipe/part is set: pipe for regular runs, part for
-	// resilient runs (one pipeline per prefix group).
+	// Exactly one of pipe/part is set: pipe for sequential regular
+	// runs, part for resilient runs (one pipeline per prefix group)
+	// and parallel regular runs (one scoped pipeline per prefix).
 	pipe     *analysis.Pipeline
 	part     *analysis.Partitioned
 	tel      *obs.Telemetry
 	prefixes []route.Prefix // requested analysis domain (empty = all)
+	// resilient records whether the verifier ran with
+	// Options.Resilient (gates Outcomes; a parallel non-resilient run
+	// also sets part but has no degradation outcomes to report).
+	resilient bool
 }
 
 // NewVerifier symbolically executes the network (symbolic route
@@ -178,6 +193,7 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	}()
 	defer guard("verify", srcOpts.Telemetry, &err)
 	if opts.Resilient {
+		v.resilient = true
 		domain := prefixes
 		if len(domain) == 0 {
 			domain = net.AllPrefixes()
@@ -187,6 +203,17 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 			return nil, perr
 		}
 		v.part, v.prefixes = part, domain
+		return v, nil
+	}
+	// A parallel regular run shards the domain into per-prefix scoped
+	// pipelines on the worker pool; any error aborts, exactly like the
+	// combined pipeline it replaces.
+	if domain := shardDomain(net, prefixes); len(domain) > 1 && analysis.Workers(srcOpts) > 1 {
+		part, perr := analysis.RunSharded(net, srcOpts, domain, analysis.Workers(srcOpts))
+		if perr != nil {
+			return nil, perr
+		}
+		v.part = part
 		return v, nil
 	}
 	srcOpts.Prefixes = prefixes
@@ -199,11 +226,22 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	return v, nil
 }
 
+// shardDomain is the prefix domain of a parallel regular run: the
+// requested prefixes, or every originated prefix when unrestricted.
+func shardDomain(net *Network, prefixes []route.Prefix) []route.Prefix {
+	if len(prefixes) > 0 {
+		return prefixes
+	}
+	return net.AllPrefixes()
+}
+
 // buildOpts translates the public options into engine options (wiring
 // the cancellation checker into the interrupt hook) and parses the
 // requested prefixes.
 func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
-	checker := resil.NewChecker(opts.Context, opts.Timeout, 0)
+	// The shared checker is safe for the concurrent pipelines of a
+	// parallel run and costs the same on the sequential paths.
+	checker := resil.NewSharedChecker(opts.Context, opts.Timeout)
 	srcOpts := src.Options{
 		PruneK:       opts.MaxFailures,
 		Abstract:     opts.Abstract,
@@ -212,6 +250,7 @@ func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
 		Telemetry:    opts.telemetry(),
 		Interrupt:    checker.Fn(),
 		BDDNodeLimit: opts.BDDNodeLimit,
+		Parallelism:  opts.Parallelism,
 	}
 	var prefixes []route.Prefix
 	for _, p := range opts.Prefixes {
