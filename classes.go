@@ -88,7 +88,7 @@ func (v *Verifier) ForwardingClasses(srcRouter string) (out []ForwardingClass, e
 // minDownToSatisfy returns the minimum number of links assigned down on
 // any satisfying assignment of the topology BDD.
 func minDownToSatisfy(m *bdd.Manager, topo bdd.Node) (int, bool) {
-	sp := m.ShortestPathToFalse(m.Not(topo))
+	sp := m.ShortestPathToTrue(topo)
 	if sp == math.MaxInt32 {
 		return 0, false
 	}

@@ -1,0 +1,169 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+
+	"sre"
+	"sre/internal/workload"
+)
+
+// bddKernelExp measures the overhauled BDD kernel (relational product,
+// generation-stamped memo tables, GC-surviving operation cache, balanced
+// folds) against the pre-overhaul kernel kept behind
+// Options.LegacyBDDKernel. Each cell runs the same verification and
+// analysis sweep twice at Parallelism 1 — once per kernel — and
+// cross-checks an order-independent result signature before reporting
+// the wall-clock ratio; BDD canonicity guarantees the signatures match,
+// and the check enforces it.
+//
+// The node-limited cells size the node table so the manager collects
+// several times mid-run: that is where the sweeping cache invalidation
+// pays (the legacy kernel rewarms a cold cache after every GC), visible
+// in the post-GC hit-ratio column.
+func bddKernelExp(sc scale) {
+	header("BDD kernel — overhauled vs legacy, parallelism 1")
+	type wl struct {
+		name      string
+		arity     int
+		k         int
+		nodeLimit int
+	}
+	wls := []wl{
+		{"FatTree(4) k=2 unconstrained", 4, 2, 0},
+		{"FatTree(4) k=3 limit=300k", 4, 3, 300000},
+		{"FatTree(6) k=1 limit=700k", 6, 1, 700000},
+	}
+	if sc.paper {
+		wls = append(wls, wl{"FatTree(6) k=2 limit=4.5M", 6, 2, 4500000})
+	}
+	t := newTable("dataset", "legacy", "overhauled", "speedup", "identical", "postGC-hit")
+	ct := newCellTimer()
+	for _, w := range wls {
+		var legacySec, newSec float64
+		var legacySig, newSig string
+		var legacyErr, newErr error
+		var legacyCell, newCell bddKernelResult
+		ct.run("legacy", func() {
+			legacyCell = bddKernelCell(w.arity, w.k, w.nodeLimit, true)
+			legacySec, legacySig, legacyErr = legacyCell.seconds, legacyCell.sig, legacyCell.err
+		})
+		ct.run("overhauled", func() {
+			newCell = bddKernelCell(w.arity, w.k, w.nodeLimit, false)
+			newSec, newSig, newErr = newCell.seconds, newCell.sig, newCell.err
+		})
+		outcome := func(err error) string {
+			if err != nil {
+				return "error"
+			}
+			return "ok"
+		}
+		identical := legacyErr == nil && newErr == nil && legacySig == newSig
+		speedup := 0.0
+		if legacyErr == nil && newErr == nil && newSec > 0 {
+			speedup = legacySec / newSec
+		}
+		record(benchRow{Experiment: "bddkernel", Dataset: w.name, System: "legacy",
+			K: w.k, Seconds: legacySec, Parallelism: 1,
+			PeakBDDNodes: legacyCell.peakNodes, CacheHitRatio: legacyCell.hitRatio,
+			GCRuns: legacyCell.gcRuns, Outcome: outcome(legacyErr)})
+		record(benchRow{Experiment: "bddkernel", Dataset: w.name, System: "overhauled",
+			K: w.k, Seconds: newSec, Parallelism: 1,
+			PeakBDDNodes: newCell.peakNodes, CacheHitRatio: newCell.hitRatio,
+			GCRuns: newCell.gcRuns, Speedup: speedup, ResultsIdentical: identical,
+			Outcome: outcome(newErr)})
+		if legacyErr != nil {
+			fmt.Printf("  %s legacy: %v\n", w.name, legacyErr)
+		}
+		if newErr != nil {
+			fmt.Printf("  %s overhauled: %v\n", w.name, newErr)
+		}
+		t.addf("%s|%.2fs|%.2fs|%.2fx|%v|%.0f%%", w.name, legacySec, newSec,
+			speedup, identical, newCell.postGCHit*100)
+	}
+	t.print()
+}
+
+// bddKernelResult is one measured kernel cell.
+type bddKernelResult struct {
+	seconds   float64
+	sig       string
+	peakNodes int
+	hitRatio  float64
+	postGCHit float64
+	gcRuns    int
+	err       error
+}
+
+// bddKernelCell runs pipeline construction plus the FPA sweep the
+// overhaul targets — forwarding classes for every source (SatCount and
+// shortest witness paths per PFEC), failure tolerances, and property
+// probabilities — on one kernel. Everything the signature hashes is
+// deterministic at parallelism 1.
+func bddKernelCell(arity, k, nodeLimit int, legacy bool) bddKernelResult {
+	net := workload.FatTree(arity, workload.BGP)
+	opts := sre.Options{MaxFailures: k, BDDNodeLimit: nodeLimit,
+		Parallelism: 1, LegacyBDDKernel: legacy, Timeout: *deadline}
+	start := time.Now()
+	v, err := sre.NewVerifier(net, opts)
+	if err != nil {
+		return bddKernelResult{seconds: time.Since(start).Seconds(), err: err}
+	}
+	defer v.Release()
+	var lines []string
+	for _, src := range v.RouterNames() {
+		classes, cerr := v.ForwardingClasses(src)
+		if cerr != nil {
+			return bddKernelResult{seconds: time.Since(start).Seconds(), err: cerr}
+		}
+		var pkts, scens float64
+		minFail := 0
+		for _, c := range classes {
+			pkts += c.Packets
+			scens += c.Scenarios
+			minFail += c.MinFailures
+		}
+		lines = append(lines, fmt.Sprintf("classes:%s:%d pkts:%g scen:%g minfail:%d",
+			src, len(classes), pkts, scens, minFail))
+	}
+	for _, src := range v.RouterNames() {
+		if !strings.HasPrefix(src, "edge") {
+			continue
+		}
+		tols, terr := v.FailureTolerances(src)
+		if terr != nil {
+			return bddKernelResult{seconds: time.Since(start).Seconds(), err: terr}
+		}
+		for _, r := range tols {
+			if r.Err != nil {
+				lines = append(lines, "tol:"+src+":"+r.Prefix+"=err")
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("tol:%s:%s=%d", src, r.Prefix, r.Value))
+			p, perr := v.Probability(src, r.Prefix, sre.LinkFailures(0.001))
+			if perr != nil {
+				lines = append(lines, "prob:"+src+":"+r.Prefix+"=err")
+				continue
+			}
+			lines = append(lines, fmt.Sprintf("prob:%s:%s=%.12g", src, r.Prefix, p))
+		}
+	}
+	sec := time.Since(start).Seconds()
+	sort.Strings(lines)
+	met := v.Metrics()
+	res := bddKernelResult{
+		seconds:   sec,
+		sig:       strings.Join(lines, ";"),
+		peakNodes: met.BDD.PeakNodes,
+		hitRatio:  met.BDD.CacheHitRatio,
+		postGCHit: met.BDD.PostGCCacheHitRatio,
+		gcRuns:    met.BDD.GCRuns,
+	}
+	if math.IsNaN(res.hitRatio) {
+		res.hitRatio = 0
+	}
+	return res
+}

@@ -12,7 +12,7 @@
 //	srebench -exp fig5 -scale paper -budget 300s
 //
 // Experiments: fig5 fig6 fig7 fig8 diff fig9 fig10 table2 fig11 table3
-// fig13 fig14 parallel.
+// fig13 fig14 parallel bddkernel.
 package main
 
 import (
@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, parallel, all)")
+	expFlag    = flag.String("exp", "all", "experiment to run (fig5, fig6, fig7, fig8, diff, fig9, fig10, table2, fig11, table3, fig13, fig14, parallel, bddkernel, all)")
 	scaleFlag  = flag.String("scale", "small", "workload scale: small (CI-friendly) or paper (full sizes; hours)")
 	budget     = flag.Duration("budget", 60*time.Second, "soft per-cell time budget; a system that exceeds it is skipped for larger parameters")
 	seedFlag   = flag.Int64("seed", 1, "base seed for randomized selections")
@@ -122,21 +122,22 @@ func main() {
 	flag.Parse()
 	sc := getScale()
 	exps := map[string]func(scale){
-		"fig5":   fig5,
-		"fig6":   fig6,
-		"fig7":   fig7,
-		"fig8":   fig8,
-		"diff":   diffExp,
-		"fig9":   fig9,
-		"fig10":  fig10,
-		"table2": table2,
-		"fig11":  fig11,
-		"table3": table3,
-		"fig13":    fig13,
-		"fig14":    fig14,
-		"parallel": parallelExp,
+		"fig5":      fig5,
+		"fig6":      fig6,
+		"fig7":      fig7,
+		"fig8":      fig8,
+		"diff":      diffExp,
+		"fig9":      fig9,
+		"fig10":     fig10,
+		"table2":    table2,
+		"fig11":     fig11,
+		"table3":    table3,
+		"fig13":     fig13,
+		"fig14":     fig14,
+		"parallel":  parallelExp,
+		"bddkernel": bddKernelExp,
 	}
-	order := []string{"fig5", "fig6", "fig7", "fig8", "diff", "fig9", "fig10", "table2", "fig11", "table3", "fig13", "fig14", "parallel"}
+	order := []string{"fig5", "fig6", "fig7", "fig8", "diff", "fig9", "fig10", "table2", "fig11", "table3", "fig13", "fig14", "parallel", "bddkernel"}
 	if *expFlag == "all" {
 		for _, name := range order {
 			exps[name](sc)

@@ -74,7 +74,7 @@ func Run(net *config.Network, opts src.Options) (*Pipeline, error) {
 func newRunSpace(net *config.Network, opts src.Options) *symbol.Space {
 	return symbol.NewSpace(net.Topology.NumLinks(),
 		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
-			Interrupt: opts.Interrupt},
+			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel},
 		net.Topology.NumRouters()+MaxRiskGroups)
 }
 
@@ -204,26 +204,28 @@ func (p *Pipeline) NumPFECs() int {
 // conjoined with the header set hdr (Algorithm 2, GetPropertyBDDReach).
 func (p *Pipeline) ReachBDD(s topology.RouterID, dst map[topology.RouterID]bool, hdr bdd.Node) bdd.Node {
 	m := p.Sp.M
-	reach := bdd.False
+	var preds []bdd.Node
 	for _, pf := range p.pfecs[s] {
 		if pf.Delivered && dst[pf.Dst()] {
-			reach = m.Or(reach, pf.Pred)
+			preds = append(preds, pf.Pred)
 		}
 	}
-	return m.And(reach, hdr)
+	// Balanced disjunction keeps intermediate BDDs small compared to a
+	// left-to-right fold over hundreds of PFEC predicates.
+	return m.And(m.OrN(preds...), hdr)
 }
 
 // WaypointBDD returns the property BDD of Waypoint(s, dst, w, hdr):
 // packets that reach dst AND traverse w on the way.
 func (p *Pipeline) WaypointBDD(s topology.RouterID, dst map[topology.RouterID]bool, w topology.RouterID, hdr bdd.Node) bdd.Node {
 	m := p.Sp.M
-	reach := bdd.False
+	var preds []bdd.Node
 	for _, pf := range p.pfecs[s] {
 		if pf.Delivered && dst[pf.Dst()] && pf.Traverses(w) {
-			reach = m.Or(reach, pf.Pred)
+			preds = append(preds, pf.Pred)
 		}
 	}
-	return m.And(reach, hdr)
+	return m.And(m.OrN(preds...), hdr)
 }
 
 // ReachPrefixBDD is ReachBDD for a destination prefix: the destinations
@@ -301,7 +303,6 @@ type ToleranceResult struct {
 func (p *Pipeline) Tolerance(property, universe bdd.Node) []ToleranceResult {
 	m := p.Sp.M
 	var out []ToleranceResult
-	covered := bdd.False
 	for _, tup := range p.Extract(property) {
 		sp := m.ShortestPathToFalse(tup.Topo)
 		k := InfiniteTolerance
@@ -309,8 +310,11 @@ func (p *Pipeline) Tolerance(property, universe bdd.Node) []ToleranceResult {
 			k = sp - 1
 		}
 		out = append(out, ToleranceResult{Pkt: tup.Pkt, K: k})
-		covered = m.Or(covered, tup.Pkt)
 	}
+	// The union of the extracted packet sets is exactly the header
+	// projection of the property (each tuple's topology BDD is
+	// satisfiable), so one quantification replaces an Or per tuple.
+	covered := p.Sp.HeaderOnly(property)
 	if missing := m.Diff(universe, covered); missing != bdd.False {
 		out = append(out, ToleranceResult{Pkt: missing, K: -1})
 	}
@@ -342,7 +346,7 @@ func (p *Pipeline) IsolationTolerance(reachProperty, universe bdd.Node) int {
 	covered := bdd.False
 	for _, tup := range p.Extract(reachProperty) {
 		covered = m.Or(covered, tup.Pkt)
-		sp := m.ShortestPathToFalse(m.Not(tup.Topo))
+		sp := m.ShortestPathToTrue(tup.Topo)
 		k := InfiniteTolerance
 		if sp != math.MaxInt32 {
 			k = sp - 1
@@ -489,7 +493,7 @@ func (p *Pipeline) LoadBalancePaths(s topology.RouterID, dst map[topology.Router
 	cond := m.And(hdr, allUp)
 	n := 0
 	for _, pf := range p.pfecs[s] {
-		if pf.Delivered && dst[pf.Dst()] && m.And(pf.Pred, cond) != bdd.False {
+		if pf.Delivered && dst[pf.Dst()] && m.AndSat(pf.Pred, cond) {
 			n++
 		}
 	}
@@ -514,7 +518,7 @@ func (p *Pipeline) AllPairsReachable(k int) map[PairKey]bool {
 				continue
 			}
 			prop := p.ReachBDD(srcID, origins, hdr)
-			holds := m.Diff(m.And(hdr, budget), prop) == bdd.False
+			holds := !m.DiffSat(m.And(hdr, budget), prop)
 			out[PairKey{Src: srcID, Prefix: pfx}] = holds
 		}
 	}
@@ -527,7 +531,7 @@ func (p *Pipeline) PairReachable(src topology.RouterID, pfx route.Prefix, k int)
 	budget := p.Sp.AtMostKLinkFailures(k)
 	hdr := p.OwnedHeaders(pfx)
 	prop := p.ReachBDD(src, p.OriginSet(pfx), hdr)
-	return m.Diff(m.And(hdr, budget), prop) == bdd.False
+	return !m.DiffSat(m.And(hdr, budget), prop)
 }
 
 // Release frees the BDD references held by the pipeline's PFECs and

@@ -244,14 +244,14 @@ func (mn *Miner) Mine() (*Specs, error) {
 				}
 				// Violated iff some (packet, scenario) within budget is
 				// not covered by the property.
-				if m.Diff(m.And(hdr, budget), prop) != bdd.False {
+				if m.DiffSat(m.And(hdr, budget), prop) {
 					violated = true
 				}
 				if mn.Waypoint != nil {
 					if _, done := specs.WaypointTolerance[key]; !done {
 						if w, ok := mn.Waypoint(key.Src, key.Prefix); ok {
 							wprop := pipe.WaypointBDD(key.Src, dst, w, hdr)
-							if m.Diff(m.And(hdr, budget), wprop) != bdd.False {
+							if m.DiffSat(m.And(hdr, budget), wprop) {
 								specs.WaypointTolerance[key] = k - 1
 							}
 						}

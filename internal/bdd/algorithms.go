@@ -17,26 +17,44 @@ import "math"
 // failure tolerance of a property with topology BDD f is this value
 // minus one.
 func (m *Manager) ShortestPathToFalse(f Node) int {
-	memo := make(map[Node]int)
-	var rec func(Node) int
-	rec = func(n Node) int {
-		switch n {
-		case False:
+	if m.legacy {
+		return m.legacyShortestPath(f, False)
+	}
+	m.i32memo.begin(len(m.lvl))
+	return int(m.shortestPathRec(f, False))
+}
+
+// ShortestPathToTrue returns the minimum number of dashed (low) edges on
+// any root-to-True path of f, or math.MaxInt32 when f == False. It
+// equals ShortestPathToFalse(Not(f)) without materializing the
+// complement BDD: with link variables meaning "link up", it is the
+// fewest failed links in any satisfying scenario of f.
+func (m *Manager) ShortestPathToTrue(f Node) int {
+	if m.legacy {
+		return m.legacyShortestPath(f, True)
+	}
+	m.i32memo.begin(len(m.lvl))
+	return int(m.shortestPathRec(f, True))
+}
+
+// shortestPathRec computes the min dashed-edge distance from n to the
+// target terminal; the caller owns the current i32memo generation.
+func (m *Manager) shortestPathRec(n, target Node) int32 {
+	if n <= True {
+		if n == target {
 			return 0
-		case True:
-			return math.MaxInt32
 		}
-		if d, ok := memo[n]; ok {
-			return d
-		}
-		d := rec(Node(m.hi[n])) // solid edge: link stays up, cost 0
-		if dl := rec(Node(m.lo[n])); dl != math.MaxInt32 && dl+1 < d {
-			d = dl + 1
-		}
-		memo[n] = d
+		return math.MaxInt32
+	}
+	if d, ok := m.i32memo.get(n); ok {
 		return d
 	}
-	return rec(f)
+	d := m.shortestPathRec(Node(m.hi[n]), target) // solid edge: cost 0
+	if dl := m.shortestPathRec(Node(m.lo[n]), target); dl != math.MaxInt32 && dl+1 < d {
+		d = dl + 1
+	}
+	m.i32memo.put(n, d)
+	return d
 }
 
 // MinFalseWitness returns an assignment falsifying f with the minimum
@@ -44,45 +62,42 @@ func (m *Manager) ShortestPathToFalse(f Node) int {
 // (all other variables are true). The second result is false when f is
 // the True terminal (no falsifying assignment exists).
 func (m *Manager) MinFalseWitness(f Node) ([]int, bool) {
+	if m.legacy {
+		return m.legacyMinFalseWitness(f)
+	}
 	if f == True {
 		return nil, false
 	}
-	type entry struct {
-		dist int
-		via  Node // child on the optimal path
-		down bool // optimal path takes the dashed edge
-	}
-	memo := make(map[Node]entry)
-	var rec func(Node) int
-	rec = func(n Node) int {
-		switch n {
-		case False:
-			return 0
-		case True:
-			return math.MaxInt32
-		}
-		if e, ok := memo[n]; ok {
-			return e.dist
-		}
-		hiN, loN := Node(m.hi[n]), Node(m.lo[n])
-		dh, dl := rec(hiN), rec(loN)
-		e := entry{dist: dh, via: hiN}
-		if dl != math.MaxInt32 && dl+1 < dh {
-			e = entry{dist: dl + 1, via: loN, down: true}
-		}
-		memo[n] = e
-		return e.dist
-	}
-	rec(f)
+	m.witMemo.begin(len(m.lvl))
+	m.minWitnessRec(f)
 	var downVars []int
 	for n := f; n > True; {
-		e := memo[n]
-		if e.down {
+		if m.witMemo.down[n] {
 			downVars = append(downVars, int(m.lvl[n]))
 		}
-		n = e.via
+		n = Node(m.witMemo.via[n])
 	}
 	return downVars, true
+}
+
+func (m *Manager) minWitnessRec(n Node) int32 {
+	switch n {
+	case False:
+		return 0
+	case True:
+		return math.MaxInt32
+	}
+	if m.witMemo.has(n) {
+		return m.witMemo.dist[n]
+	}
+	hiN, loN := Node(m.hi[n]), Node(m.lo[n])
+	dh, dl := m.minWitnessRec(hiN), m.minWitnessRec(loN)
+	dist, via, down := dh, hiN, false
+	if dl != math.MaxInt32 && dl+1 < dh {
+		dist, via, down = dl+1, loN, true
+	}
+	m.witMemo.put(n, dist, int32(via), down)
+	return dist
 }
 
 // Probability returns the probability that f evaluates to true when each
@@ -94,46 +109,57 @@ func (m *Manager) Probability(f Node, pTrue []float64) float64 {
 	if len(pTrue) < m.vars {
 		panic("bdd: Probability needs a probability per variable")
 	}
-	memo := make(map[Node]float64)
-	var rec func(Node) float64
-	rec = func(n Node) float64 {
-		switch n {
-		case False:
-			return 0
-		case True:
-			return 1
-		}
-		if w, ok := memo[n]; ok {
-			return w
-		}
-		p := pTrue[m.lvl[n]]
-		w := p*rec(Node(m.hi[n])) + (1-p)*rec(Node(m.lo[n]))
-		memo[n] = w
+	if m.legacy {
+		return m.legacyProbability(f, pTrue)
+	}
+	m.f64memo.begin(len(m.lvl))
+	m.probP = pTrue
+	w := m.probabilityRec(f)
+	m.probP = nil
+	return w
+}
+
+func (m *Manager) probabilityRec(n Node) float64 {
+	switch n {
+	case False:
+		return 0
+	case True:
+		return 1
+	}
+	if w, ok := m.f64memo.get(n); ok {
 		return w
 	}
-	return rec(f)
+	p := m.probP[m.lvl[n]]
+	w := p*m.probabilityRec(Node(m.hi[n])) + (1-p)*m.probabilityRec(Node(m.lo[n]))
+	m.f64memo.put(n, w)
+	return w
 }
 
 // SatCount returns the number of satisfying assignments of f over the
 // variables [0, nvars). It is exact up to float64 precision.
 func (m *Manager) SatCount(f Node, nvars int) float64 {
-	memo := make(map[Node]float64)
-	var rec func(Node) float64 // satisfying fraction
-	rec = func(n Node) float64 {
-		switch n {
-		case False:
-			return 0
-		case True:
-			return 1
-		}
-		if w, ok := memo[n]; ok {
-			return w
-		}
-		w := 0.5*rec(Node(m.hi[n])) + 0.5*rec(Node(m.lo[n]))
-		memo[n] = w
+	if m.legacy {
+		return m.legacySatCount(f, nvars)
+	}
+	m.f64memo.begin(len(m.lvl))
+	return m.satCountRec(f) * math.Pow(2, float64(nvars))
+}
+
+// satCountRec returns the satisfying fraction of n; the caller owns the
+// current f64memo generation.
+func (m *Manager) satCountRec(n Node) float64 {
+	switch n {
+	case False:
+		return 0
+	case True:
+		return 1
+	}
+	if w, ok := m.f64memo.get(n); ok {
 		return w
 	}
-	return rec(f) * math.Pow(2, float64(nvars))
+	w := 0.5*m.satCountRec(Node(m.hi[n])) + 0.5*m.satCountRec(Node(m.lo[n]))
+	m.f64memo.put(n, w)
+	return w
 }
 
 // AnySat returns one satisfying assignment of f as a map from variable to

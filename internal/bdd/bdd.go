@@ -58,6 +58,12 @@ type Config struct {
 	// DisableGC turns off automatic garbage collection. Explicit calls
 	// to GC still work.
 	DisableGC bool
+	// LegacyKernel selects the pre-overhaul kernel paths: map-memoized
+	// analyses, linear AndN/OrN folds, map-based ExistsSet, and a full
+	// operation-cache wipe at every GC. It exists as a kill switch and
+	// as the baseline of the `srebench -exp bddkernel` experiment;
+	// results are identical either way, only throughput differs.
+	LegacyKernel bool
 	// Telemetry, when non-nil, receives manager counters (GC runs and
 	// freed nodes, node-limit hits, cache hit/miss deltas) and
 	// occupancy gauges, sampled at every collection and at explicit
@@ -101,10 +107,27 @@ type Manager struct {
 	limit     int
 	autoGC    bool
 	gcPending bool // set when allocation pressure suggests a GC
+	legacy    bool // Config.LegacyKernel
 
-	cache     []cacheEntry
-	cacheMask uint32
-	stats     Stats
+	// Shared operation cache: 2-way set-associative, 2*(setMask+1)
+	// entries. Set s occupies entries 2s (MRU way) and 2s+1 (LRU way).
+	// Entries survive GC; the sweep invalidates only entries whose
+	// operands or result died (see sweepCaches).
+	cache   []cacheEntry
+	setMask uint32
+	// Dedicated relational-product cache for AndExists (direct-mapped;
+	// the triple key would crowd the shared cache's hot binary entries).
+	axCache []axEntry
+	axMask  uint32
+	stats   Stats
+
+	// Generation-stamped scratch memo tables for the per-node analyses
+	// (allocation-free after warmup; see scratch.go).
+	f64memo memoF64
+	i32memo memoI32
+	witMemo memoWit
+	varSeen varMarks
+	probP   []float64 // Probability's per-call vector, borrowed during recursion
 
 	// Cooperative interruption: interrupt is Config.Interrupt, intrN
 	// counts operations since the last poll (see pollInterrupt).
@@ -120,17 +143,36 @@ type Manager struct {
 	telLimitHits *obs.Counter
 	telCacheHit  *obs.Counter
 	telCacheMiss *obs.Counter
+	telAxHit     *obs.Counter
+	telAxMiss    *obs.Counter
+	telRetained  *obs.Counter
+	telInvalid   *obs.Counter
 	telLive      *obs.Gauge
 	telPeak      *obs.Gauge
 	telFree      *obs.Gauge
+	telHitPreGC  *obs.Gauge
+	telHitPostGC *obs.Gauge
+	telOccupancy *obs.Gauge
 	// Last sampled cumulative values, so counter deltas stay monotone.
-	sampledHits, sampledMiss uint64
+	sampledHits, sampledMiss     uint64
+	sampledAxHits, sampledAxMiss uint64
+	sampledRet, sampledInv       uint64
 }
 
 type cacheEntry struct {
 	op      int32
 	f, g, h Node
 	res     Node
+}
+
+// axEntry is one AndExists cache entry: the canonical (f ≤ g) operand
+// pair, the quantified varset as a hash-consed cube node, and the
+// result. Stored operands are always decision nodes (terminal cases
+// never reach the cache), so the zero entry (f == False) matches no
+// lookup and needs no validity bit.
+type axEntry struct {
+	f, g, cube Node
+	res        Node
 }
 
 // Stats reports manager counters, used by the scalability experiments
@@ -148,16 +190,45 @@ type Stats struct {
 	CacheHits  uint64
 	CacheMiss  uint64
 	UniqueHits uint64
+	// AxCacheHits/AxCacheMiss count lookups of the dedicated AndExists
+	// relational-product cache.
+	AxCacheHits uint64
+	AxCacheMiss uint64
+	// CacheRetained/CacheInvalidated count operation-cache entries kept
+	// and dropped across all GC sweeps (the pre-overhaul kernel wiped
+	// everything; retained is how much warmth now survives).
+	CacheRetained    uint64
+	CacheInvalidated uint64
+	// HitsAtLastGC/MissAtLastGC snapshot the cache counters at the most
+	// recent collection, so hit rates before and after GC are separable.
+	HitsAtLastGC uint64
+	MissAtLastGC uint64
 }
 
 // CacheHitRatio returns hits/(hits+misses) of the operation cache, or 0
 // before any operation ran.
 func (s Stats) CacheHitRatio() float64 {
-	total := s.CacheHits + s.CacheMiss
-	if total == 0 {
+	return ratio(s.CacheHits, s.CacheMiss)
+}
+
+// PreGCCacheHitRatio returns the operation-cache hit ratio accumulated
+// up to the most recent collection (0 before any GC ran).
+func (s Stats) PreGCCacheHitRatio() float64 {
+	return ratio(s.HitsAtLastGC, s.MissAtLastGC)
+}
+
+// PostGCCacheHitRatio returns the operation-cache hit ratio since the
+// most recent collection — the figure that shows whether cache warmth
+// survives GC.
+func (s Stats) PostGCCacheHitRatio() float64 {
+	return ratio(s.CacheHits-s.HitsAtLastGC, s.CacheMiss-s.MissAtLastGC)
+}
+
+func ratio(hits, miss uint64) float64 {
+	if hits+miss == 0 {
 		return 0
 	}
-	return float64(s.CacheHits) / float64(total)
+	return float64(hits) / float64(hits+miss)
 }
 
 // New creates a Manager with the given configuration.
@@ -181,15 +252,24 @@ func New(cfg Config) *Manager {
 	for cs < cfg.CacheSize {
 		cs <<= 1
 	}
+	// The AndExists cache is a quarter of the shared cache (min 1K
+	// sets): quantification call sites are fewer but each entry is hot.
+	axs := cs / 4
+	if axs < 1<<10 {
+		axs = 1 << 10
+	}
 	m := &Manager{
 		vars:      cfg.Vars,
 		limit:     cfg.NodeLimit,
 		autoGC:    !cfg.DisableGC,
-		cache:     make([]cacheEntry, cs),
+		legacy:    cfg.LegacyKernel,
+		cache:     make([]cacheEntry, 2*cs), // cs sets × 2 ways
+		axCache:   make([]axEntry, axs),
 		freeList:  -1,
 		interrupt: cfg.Interrupt,
 	}
-	m.cacheMask = uint32(cs - 1)
+	m.setMask = uint32(cs - 1)
+	m.axMask = uint32(axs - 1)
 	if cfg.Telemetry != nil {
 		m.tel = cfg.Telemetry
 		m.telGCRuns = m.tel.Counter("bdd.gc_runs")
@@ -197,9 +277,16 @@ func New(cfg Config) *Manager {
 		m.telLimitHits = m.tel.Counter("bdd.node_limit_hits")
 		m.telCacheHit = m.tel.Counter("bdd.cache_hits")
 		m.telCacheMiss = m.tel.Counter("bdd.cache_misses")
+		m.telAxHit = m.tel.Counter("bdd.axcache_hits")
+		m.telAxMiss = m.tel.Counter("bdd.axcache_misses")
+		m.telRetained = m.tel.Counter("bdd.opcache_retained")
+		m.telInvalid = m.tel.Counter("bdd.opcache_invalidated")
 		m.telLive = m.tel.Gauge("bdd.live_nodes")
 		m.telPeak = m.tel.Gauge("bdd.peak_nodes")
 		m.telFree = m.tel.Gauge("bdd.free_nodes")
+		m.telHitPreGC = m.tel.Gauge("bdd.cache_hit_ratio_pre_gc")
+		m.telHitPostGC = m.tel.Gauge("bdd.cache_hit_ratio_post_gc")
+		m.telOccupancy = m.tel.Gauge("bdd.opcache_occupancy")
 	}
 	n := cfg.InitialNodes
 	m.lvl = make([]int32, 2, n)
@@ -260,11 +347,32 @@ func (m *Manager) SampleTelemetry() {
 	m.telLive.Set(float64(len(m.lvl) - m.freeCnt))
 	m.telPeak.Max(float64(m.stats.PeakNodes))
 	m.telFree.Set(float64(m.freeCnt))
+	m.telHitPreGC.Set(m.stats.PreGCCacheHitRatio())
+	m.telHitPostGC.Set(m.stats.PostGCCacheHitRatio())
+	m.telOccupancy.Set(m.cacheOccupancy())
 	// Counters must stay monotone across managers sharing the
 	// registry, so publish deltas since the last sample.
 	m.telCacheHit.Add(int64(m.stats.CacheHits - m.sampledHits))
 	m.telCacheMiss.Add(int64(m.stats.CacheMiss - m.sampledMiss))
+	m.telAxHit.Add(int64(m.stats.AxCacheHits - m.sampledAxHits))
+	m.telAxMiss.Add(int64(m.stats.AxCacheMiss - m.sampledAxMiss))
+	m.telRetained.Add(int64(m.stats.CacheRetained - m.sampledRet))
+	m.telInvalid.Add(int64(m.stats.CacheInvalidated - m.sampledInv))
 	m.sampledHits, m.sampledMiss = m.stats.CacheHits, m.stats.CacheMiss
+	m.sampledAxHits, m.sampledAxMiss = m.stats.AxCacheHits, m.stats.AxCacheMiss
+	m.sampledRet, m.sampledInv = m.stats.CacheRetained, m.stats.CacheInvalidated
+}
+
+// cacheOccupancy returns the fraction of shared operation-cache entries
+// currently holding a result.
+func (m *Manager) cacheOccupancy() float64 {
+	used := 0
+	for i := range m.cache {
+		if m.cache[i].op != 0 {
+			used++
+		}
+	}
+	return float64(used) / float64(len(m.cache))
 }
 
 // Var returns the BDD for variable v (a single decision node testing v).

@@ -19,7 +19,9 @@ import (
 // PFECs) protected by Ref.
 
 // GC runs a mark-and-sweep collection and reports how many nodes were
-// freed. The operation cache is invalidated.
+// freed. Operation-cache entries whose operands and result all survive
+// are retained (warm restarts after GC); entries referencing a dead node
+// are invalidated. The legacy kernel wipes the caches wholesale.
 func (m *Manager) GC() int {
 	mark := make([]bool, len(m.lvl))
 	mark[0], mark[1] = true, true
@@ -76,7 +78,13 @@ func (m *Manager) GC() int {
 		m.nodes--
 		freed++
 	}
-	m.clearCache()
+	if m.legacy {
+		m.clearCache()
+	} else {
+		m.sweepCaches(mark)
+	}
+	m.stats.HitsAtLastGC = m.stats.CacheHits
+	m.stats.MissAtLastGC = m.stats.CacheMiss
 	m.stats.GCRuns++
 	m.telGCRuns.Inc()
 	m.telGCFreed.Add(int64(freed))

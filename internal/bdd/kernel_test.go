@@ -1,0 +1,384 @@
+package bdd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// newKernelPair returns two managers over the same variable count, one
+// per kernel, for result-parity checks.
+func newKernelPair(vars int) (*Manager, *Manager) {
+	return New(Config{Vars: vars}), New(Config{Vars: vars, LegacyKernel: true})
+}
+
+// buildDense returns a structurally interesting BDD over [0, vars):
+// pairs of adjacent variables joined alternately by OR/XOR, conjoined.
+// Built identically on any manager, it yields the same function.
+func buildDense(m *Manager, vars int) Node {
+	f := True
+	for v := 0; v+1 < vars; v += 2 {
+		var pair Node
+		if v%4 == 0 {
+			pair = m.Or(m.Var(v), m.Var(v+1))
+		} else {
+			pair = m.Xor(m.Var(v), m.Var(v+1))
+		}
+		f = m.And(f, pair)
+	}
+	return f
+}
+
+func TestRestrictCacheKeyDisjoint(t *testing.T) {
+	// Regression: Restrict once keyed the shared cache as (op, f, v,
+	// value) packings that could collide with apply entries and with the
+	// opposite polarity. The two polarities must produce distinct cached
+	// results for the same (f, v), interleaved with apply traffic.
+	m := newTest(8)
+	f := buildDense(m, 8)
+	for round := 0; round < 3; round++ {
+		for v := 0; v < 8; v++ {
+			rT := m.Restrict(f, v, true)
+			rF := m.Restrict(f, v, false)
+			// Recompute through a fresh manager as ground truth.
+			chk := newTest(8)
+			g := buildDense(chk, 8)
+			if got, want := chk.NodeCount(chk.Restrict(g, v, true)), m.NodeCount(rT); got != want {
+				t.Fatalf("Restrict(v=%d,true) diverged after caching: %d vs %d", v, want, got)
+			}
+			if got, want := chk.NodeCount(chk.Restrict(g, v, false)), m.NodeCount(rF); got != want {
+				t.Fatalf("Restrict(v=%d,false) diverged after caching: %d vs %d", v, want, got)
+			}
+			// Generate colliding apply traffic with small node handles.
+			m.And(m.Var(v), m.Var((v+1)%8))
+		}
+	}
+	// Same level restricted with both polarities back-to-back must obey
+	// Shannon: f = (¬v ∧ f|v=0) ∨ (v ∧ f|v=1).
+	for v := 0; v < 8; v++ {
+		lo, hi := m.Restrict(f, v, false), m.Restrict(f, v, true)
+		if m.Ite(m.Var(v), hi, lo) != f {
+			t.Fatalf("Shannon expansion broken at var %d", v)
+		}
+	}
+}
+
+func TestAndExistsMatchesComposed(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	m := newTest(12)
+	for i := 0; i < 200; i++ {
+		f, _ := buildRandom(m, r, 4)
+		g, _ := buildRandom(m, r, 4)
+		nv := 1 + r.Intn(5)
+		vars := r.Perm(12)[:nv]
+		want := m.ExistsSet(m.And(f, g), vars)
+		if got := m.AndExistsVars(f, g, vars); got != want {
+			t.Fatalf("AndExistsVars != ExistsSet∘And (iter %d)", i)
+		}
+		if got := m.AndExists(f, g, m.CubeVars(vars)); got != want {
+			t.Fatalf("AndExists != ExistsSet∘And (iter %d)", i)
+		}
+	}
+}
+
+func TestExistsCubeMatchesExistsSet(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	m := newTest(12)
+	for i := 0; i < 200; i++ {
+		f, _ := buildRandom(m, r, 5)
+		nv := 1 + r.Intn(6)
+		vars := r.Perm(12)[:nv]
+		if m.ExistsCube(f, m.CubeVars(vars)) != m.ExistsSet(f, vars) {
+			t.Fatalf("ExistsCube != ExistsSet (iter %d)", i)
+		}
+	}
+}
+
+func TestSatProbesMatchMaterialized(t *testing.T) {
+	r := rand.New(rand.NewSource(44))
+	m := newTest(12)
+	for i := 0; i < 300; i++ {
+		f, _ := buildRandom(m, r, 4)
+		g, _ := buildRandom(m, r, 4)
+		if m.AndSat(f, g) != (m.And(f, g) != False) {
+			t.Fatalf("AndSat mismatch (iter %d)", i)
+		}
+		if m.DiffSat(f, g) != (m.Diff(f, g) != False) {
+			t.Fatalf("DiffSat mismatch (iter %d)", i)
+		}
+	}
+}
+
+func TestCubeMatchesLiteralConjunction(t *testing.T) {
+	r := rand.New(rand.NewSource(45))
+	m := newTest(16)
+	for i := 0; i < 200; i++ {
+		nv := 1 + r.Intn(6)
+		vars := make([]int, nv)
+		values := make([]bool, nv)
+		for j := range vars {
+			vars[j] = r.Intn(16) // duplicates allowed on purpose
+			values[j] = r.Intn(2) == 0
+		}
+		want := True
+		for j := range vars {
+			if values[j] {
+				want = m.And(want, m.Var(vars[j]))
+			} else {
+				want = m.And(want, m.NVar(vars[j]))
+			}
+		}
+		if got := m.Cube(vars, values); got != want {
+			t.Fatalf("Cube mismatch (iter %d, vars %v values %v)", i, vars, values)
+		}
+	}
+	if m.Cube([]int{3, 3}, []bool{true, false}) != False {
+		t.Fatal("conflicting duplicate literals must give False")
+	}
+	if m.Cube(nil, nil) != True {
+		t.Fatal("empty cube must be True")
+	}
+}
+
+func TestShortestPathToTrueMatchesComplement(t *testing.T) {
+	r := rand.New(rand.NewSource(46))
+	m := newTest(10)
+	if m.ShortestPathToTrue(False) != math.MaxInt32 {
+		t.Fatal("SPTT(False)")
+	}
+	if m.ShortestPathToTrue(True) != 0 {
+		t.Fatal("SPTT(True)")
+	}
+	for i := 0; i < 200; i++ {
+		f, _ := buildRandom(m, r, 4)
+		if m.ShortestPathToTrue(f) != m.ShortestPathToFalse(m.Not(f)) {
+			t.Fatalf("SPTT != SPTF∘Not (iter %d)", i)
+		}
+	}
+}
+
+func TestLegacyKernelParity(t *testing.T) {
+	// The same construction sequence on both kernels must represent the
+	// same functions and give every analysis the same values. Node
+	// handles may differ (the kernels build intermediates in different
+	// orders), so all comparisons are semantic.
+	mNew, mOld := newKernelPair(14)
+	rNew, rOld := rand.New(rand.NewSource(47)), rand.New(rand.NewSource(47))
+	rEval := rand.New(rand.NewSource(48))
+	pv := make([]float64, 14)
+	for i := range pv {
+		pv[i] = 0.25 + 0.05*float64(i%10)
+	}
+	for i := 0; i < 120; i++ {
+		fN, _ := buildRandom(mNew, rNew, 5)
+		fO, _ := buildRandom(mOld, rOld, 5)
+		for j := 0; j < 16; j++ {
+			var a [14]bool
+			for k := range a {
+				a[k] = rEval.Intn(2) == 0
+			}
+			at := func(v int) bool { return a[v] }
+			if mNew.Eval(fN, at) != mOld.Eval(fO, at) {
+				t.Fatalf("kernels built different functions (iter %d)", i)
+			}
+		}
+		vars := rNew.Perm(14)[:3]
+		if len(vars) != len(rOld.Perm(14)[:3]) { // keep the streams aligned
+			t.Fatal("rng misaligned")
+		}
+		if mNew.SatCount(mNew.ExistsSet(fN, vars), 14) != mOld.SatCount(mOld.ExistsSet(fO, vars), 14) {
+			t.Fatalf("ExistsSet parity (iter %d)", i)
+		}
+		if mNew.SatCount(fN, 14) != mOld.SatCount(fO, 14) {
+			t.Fatalf("SatCount parity (iter %d)", i)
+		}
+		if mNew.Probability(fN, pv) != mOld.Probability(fO, pv) {
+			t.Fatalf("Probability parity (iter %d)", i)
+		}
+		if mNew.ShortestPathToFalse(fN) != mOld.ShortestPathToFalse(fO) {
+			t.Fatalf("ShortestPathToFalse parity (iter %d)", i)
+		}
+		if mNew.NodeCount(fN) != mOld.NodeCount(fO) {
+			t.Fatalf("NodeCount parity (iter %d)", i)
+		}
+		sN, sO := mNew.Support(fN), mOld.Support(fO)
+		if len(sN) != len(sO) {
+			t.Fatalf("Support parity (iter %d)", i)
+		}
+		for j := range sN {
+			if sN[j] != sO[j] {
+				t.Fatalf("Support parity (iter %d)", i)
+			}
+		}
+		wN, okN := mNew.MinFalseWitness(fN)
+		wO, okO := mOld.MinFalseWitness(fO)
+		if okN != okO || len(wN) != len(wO) {
+			t.Fatalf("MinFalseWitness parity (iter %d)", i)
+		}
+		for j := range wN {
+			if wN[j] != wO[j] {
+				t.Fatalf("MinFalseWitness parity (iter %d)", i)
+			}
+		}
+	}
+}
+
+func TestGCRetainsLiveCacheEntries(t *testing.T) {
+	m := New(Config{Vars: 16})
+	f := m.Ref(buildDense(m, 16))
+	g := m.Ref(m.Or(m.Var(1), m.And(m.Var(3), m.NVar(5))))
+	h := m.And(f, g) // cached with live operands
+	m.Ref(h)
+	// Garbage: a pile of BDDs no one references.
+	for v := 0; v < 14; v++ {
+		m.Xor(m.And(m.Var(v), f), m.Or(m.Var(v+1), g))
+	}
+	statsBefore := m.Statistics()
+	m.GC()
+	st := m.Statistics()
+	if st.CacheRetained == 0 {
+		t.Fatal("sweep retained nothing despite live operands")
+	}
+	if st.CacheInvalidated == 0 {
+		t.Fatal("sweep invalidated nothing despite dead garbage")
+	}
+	if st.HitsAtLastGC != statsBefore.CacheHits || st.MissAtLastGC != statsBefore.CacheMiss {
+		t.Fatal("GC hit/miss snapshot not taken")
+	}
+	// A retained entry must hit: And(f, g) again without any rebuild.
+	miss := st.CacheMiss
+	if m.And(f, g) != h {
+		t.Fatal("retained result changed")
+	}
+	if m.Statistics().CacheMiss != miss {
+		t.Fatal("And(f, g) missed the cache after GC — entry was not retained")
+	}
+	if m.Statistics().PostGCCacheHitRatio() == 0 {
+		t.Fatal("post-GC hit ratio not observable")
+	}
+	// The swept cache must never resurrect dead handles: run a fresh
+	// workload touching recycled slots and cross-check on a cold manager.
+	res := m.AndN(m.Var(0), m.Var(7), m.Var(13))
+	chk := New(Config{Vars: 16})
+	if chk.NodeCount(chk.AndN(chk.Var(0), chk.Var(7), chk.Var(13))) != m.NodeCount(res) {
+		t.Fatal("post-GC operations diverged")
+	}
+}
+
+func TestLegacyGCStillWipes(t *testing.T) {
+	m := New(Config{Vars: 8, LegacyKernel: true})
+	f := m.Ref(buildDense(m, 8))
+	m.And(f, m.Var(1))
+	m.GC()
+	if st := m.Statistics(); st.CacheRetained != 0 {
+		t.Fatalf("legacy GC retained %d entries; want full wipe", st.CacheRetained)
+	}
+}
+
+// --- allocation discipline ---
+
+func TestAnalysesAllocationFree(t *testing.T) {
+	m := newTest(24)
+	f := buildDense(m, 24)
+	pv := make([]float64, 24)
+	for i := range pv {
+		pv[i] = 0.9
+	}
+	m.SatCount(f, 24) // warm up: scratch arrays grow once
+	m.Probability(f, pv)
+	m.ShortestPathToFalse(f)
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"SatCount", func() { m.SatCount(f, 24) }},
+		{"Probability", func() { m.Probability(f, pv) }},
+		{"ShortestPathToFalse", func() { m.ShortestPathToFalse(f) }},
+	}
+	for _, c := range cases {
+		if allocs := testing.AllocsPerRun(100, c.fn); allocs != 0 {
+			t.Errorf("%s allocates %.1f objects per run in steady state; want 0", c.name, allocs)
+		}
+	}
+}
+
+// --- micro-benchmarks (new kernel unless named Legacy) ---
+
+func benchManager(b *testing.B, legacy bool, vars int) (*Manager, Node) {
+	m := New(Config{Vars: vars, LegacyKernel: legacy})
+	f := m.Ref(buildDense(m, vars))
+	b.ReportAllocs()
+	b.ResetTimer()
+	return m, f
+}
+
+func BenchmarkApply(b *testing.B) {
+	m, f := benchManager(b, false, 64)
+	g := m.Ref(m.Or(m.Var(3), m.Xor(m.Var(17), m.Var(40))))
+	for i := 0; i < b.N; i++ {
+		m.And(f, g)
+	}
+}
+
+func BenchmarkExistsSet(b *testing.B) {
+	m, f := benchManager(b, false, 64)
+	vars := []int{0, 7, 14, 21, 28, 35, 42, 49}
+	for i := 0; i < b.N; i++ {
+		m.ExistsSet(f, vars)
+	}
+}
+
+func BenchmarkExistsSetLegacy(b *testing.B) {
+	m, f := benchManager(b, true, 64)
+	vars := []int{0, 7, 14, 21, 28, 35, 42, 49}
+	for i := 0; i < b.N; i++ {
+		m.ExistsSet(f, vars)
+	}
+}
+
+func BenchmarkAndExists(b *testing.B) {
+	m, f := benchManager(b, false, 64)
+	g := m.Ref(m.Or(m.And(m.Var(5), m.Var(33)), m.Var(50)))
+	cube := m.Ref(m.CubeVars([]int{0, 7, 14, 21, 28, 35, 42, 49}))
+	for i := 0; i < b.N; i++ {
+		m.AndExists(f, g, cube)
+	}
+}
+
+func BenchmarkSatCount(b *testing.B) {
+	m, f := benchManager(b, false, 64)
+	for i := 0; i < b.N; i++ {
+		m.SatCount(f, 64)
+	}
+}
+
+func BenchmarkSatCountLegacy(b *testing.B) {
+	m, f := benchManager(b, true, 64)
+	for i := 0; i < b.N; i++ {
+		m.SatCount(f, 64)
+	}
+}
+
+func BenchmarkProbability(b *testing.B) {
+	m, f := benchManager(b, false, 64)
+	pv := make([]float64, 64)
+	for i := range pv {
+		pv[i] = 0.99
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Probability(f, pv)
+	}
+}
+
+func BenchmarkProbabilityLegacy(b *testing.B) {
+	m, f := benchManager(b, true, 64)
+	pv := make([]float64, 64)
+	for i := range pv {
+		pv[i] = 0.99
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Probability(f, pv)
+	}
+}

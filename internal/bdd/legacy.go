@@ -1,0 +1,208 @@
+package bdd
+
+import "math"
+
+// Legacy kernel paths, selected by Config.LegacyKernel: the pre-overhaul
+// per-call map memos, linear N-ary folds, and map-based quantification.
+// They compute exactly the same functions as the overhauled paths (BDDs
+// are canonical, and the analyses recurse in the same child order), so a
+// run may flip the flag and compare wall-clock with identical results —
+// which is what `srebench -exp bddkernel` does. The legacy GC also wipes
+// the operation caches wholesale (see GC).
+
+func (m *Manager) legacyFoldN(op int32, ns []Node, unit Node) Node {
+	r := unit
+	for _, n := range ns {
+		r = m.apply(op, r, n)
+	}
+	return r
+}
+
+func (m *Manager) legacyCube(vars []int, values []bool) Node {
+	r := True
+	for i := range vars {
+		if values[i] {
+			r = m.And(r, m.Var(vars[i]))
+		} else {
+			r = m.And(r, m.NVar(vars[i]))
+		}
+	}
+	return r
+}
+
+func (m *Manager) legacyExistsSet(f Node, vars []int) Node {
+	set := make(map[int32]bool, len(vars))
+	for _, v := range vars {
+		set[int32(v)] = true
+	}
+	memo := make(map[Node]Node)
+	var rec func(Node) Node
+	rec = func(n Node) Node {
+		if n <= True {
+			return n
+		}
+		if r, ok := memo[n]; ok {
+			return r
+		}
+		lo := rec(Node(m.lo[n]))
+		hi := rec(Node(m.hi[n]))
+		var r Node
+		if set[m.lvl[n]] {
+			r = m.Or(lo, hi)
+		} else {
+			r = m.mk(m.lvl[n], lo, hi)
+		}
+		memo[n] = r
+		return r
+	}
+	return rec(f)
+}
+
+func (m *Manager) legacySupport(f Node) []int {
+	seen := make(map[Node]bool)
+	vars := make(map[int32]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n <= True || seen[n] {
+			return
+		}
+		seen[n] = true
+		vars[m.lvl[n]] = true
+		rec(Node(m.lo[n]))
+		rec(Node(m.hi[n]))
+	}
+	rec(f)
+	out := make([]int, 0, len(vars))
+	for v := range vars {
+		out = append(out, int(v))
+	}
+	sortInts(out)
+	return out
+}
+
+func (m *Manager) legacyNodeCount(f Node) int {
+	seen := make(map[Node]bool)
+	var rec func(Node)
+	rec = func(n Node) {
+		if n <= True || seen[n] {
+			return
+		}
+		seen[n] = true
+		rec(Node(m.lo[n]))
+		rec(Node(m.hi[n]))
+	}
+	rec(f)
+	return len(seen)
+}
+
+// legacyShortestPath serves both ShortestPathToFalse (target False, the
+// seed implementation) and ShortestPathToTrue (via the complement, as
+// pre-overhaul call sites did with Not(f)).
+func (m *Manager) legacyShortestPath(f, target Node) int {
+	if target == True {
+		f = m.Not(f)
+	}
+	memo := make(map[Node]int)
+	var rec func(Node) int
+	rec = func(n Node) int {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return math.MaxInt32
+		}
+		if d, ok := memo[n]; ok {
+			return d
+		}
+		d := rec(Node(m.hi[n])) // solid edge: cost 0
+		if dl := rec(Node(m.lo[n])); dl != math.MaxInt32 && dl+1 < d {
+			d = dl + 1
+		}
+		memo[n] = d
+		return d
+	}
+	return rec(f)
+}
+
+func (m *Manager) legacyMinFalseWitness(f Node) ([]int, bool) {
+	if f == True {
+		return nil, false
+	}
+	type entry struct {
+		dist int
+		via  Node
+		down bool
+	}
+	memo := make(map[Node]entry)
+	var rec func(Node) int
+	rec = func(n Node) int {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return math.MaxInt32
+		}
+		if e, ok := memo[n]; ok {
+			return e.dist
+		}
+		hiN, loN := Node(m.hi[n]), Node(m.lo[n])
+		dh, dl := rec(hiN), rec(loN)
+		e := entry{dist: dh, via: hiN}
+		if dl != math.MaxInt32 && dl+1 < dh {
+			e = entry{dist: dl + 1, via: loN, down: true}
+		}
+		memo[n] = e
+		return e.dist
+	}
+	rec(f)
+	var downVars []int
+	for n := f; n > True; {
+		e := memo[n]
+		if e.down {
+			downVars = append(downVars, int(m.lvl[n]))
+		}
+		n = e.via
+	}
+	return downVars, true
+}
+
+func (m *Manager) legacyProbability(f Node, pTrue []float64) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if w, ok := memo[n]; ok {
+			return w
+		}
+		p := pTrue[m.lvl[n]]
+		w := p*rec(Node(m.hi[n])) + (1-p)*rec(Node(m.lo[n]))
+		memo[n] = w
+		return w
+	}
+	return rec(f)
+}
+
+func (m *Manager) legacySatCount(f Node, nvars int) float64 {
+	memo := make(map[Node]float64)
+	var rec func(Node) float64
+	rec = func(n Node) float64 {
+		switch n {
+		case False:
+			return 0
+		case True:
+			return 1
+		}
+		if w, ok := memo[n]; ok {
+			return w
+		}
+		w := 0.5*rec(Node(m.hi[n])) + 0.5*rec(Node(m.lo[n]))
+		memo[n] = w
+		return w
+	}
+	return rec(f) * math.Pow(2, float64(nvars))
+}

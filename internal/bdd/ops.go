@@ -1,6 +1,14 @@
 package bdd
 
-// Operation codes for the shared operation cache.
+// Operation codes for the shared operation cache. Every op packs its
+// key into the (f, g, h) fields with a packing of its own: ops whose
+// keys are pure node-handle triples (apply, Not, Ite, the quantification
+// and satisfiability ops) are distinguished by op code from ops that
+// pack scalars into a field — restrict stores a variable LEVEL in g,
+// which may numerically collide with a node handle of another op but
+// never shares an op code with one. The GC sweep relies on this
+// discipline to know which fields are node handles when deciding
+// whether an entry survives a collection (see sweepCaches).
 const (
 	opAnd int32 = iota + 1
 	opOr
@@ -8,38 +16,108 @@ const (
 	opDiff // f ∧ ¬g
 	opNot
 	opIte
+	// opExists keys (f, cube, 0): cube is the hash-consed positive cube
+	// of the quantified varset, so equal varsets share entries across
+	// calls — no per-call map.
 	opExists
-	opRestrict
-	opCompose
-	opSupport
+	// opRestrictF/opRestrictT key (f, Node(level), 0). The level in g is
+	// NOT a node handle; the value bit lives in the op code itself so
+	// the packing of the remaining fields is disjoint from every
+	// node-keyed op.
+	opRestrictF
+	opRestrictT
+	// opAndSat/opDiffSat key (f, g, 0) and store a terminal result:
+	// True iff f∧g (resp. f∧¬g) is satisfiable.
+	opAndSat
+	opDiffSat
 )
 
+// cacheLookup probes the 2-way set for (op, f, g, h). A hit in the LRU
+// way is promoted to the MRU way, so the hotter of two colliding entries
+// stays resident.
 func (m *Manager) cacheLookup(op int32, f, g, h Node) (Node, bool) {
-	e := &m.cache[m.cacheSlot(op, f, g, h)]
+	s := m.cacheSlot(op, f, g, h) << 1
+	e := &m.cache[s]
 	if e.op == op && e.f == f && e.g == g && e.h == h {
 		m.stats.CacheHits++
 		return e.res, true
+	}
+	e2 := &m.cache[s|1]
+	if e2.op == op && e2.f == f && e2.g == g && e2.h == h {
+		m.cache[s], m.cache[s|1] = m.cache[s|1], m.cache[s]
+		m.stats.CacheHits++
+		return m.cache[s].res, true
 	}
 	m.stats.CacheMiss++
 	return 0, false
 }
 
+// cacheStore inserts at the MRU way, demoting the previous MRU entry to
+// the LRU way (which evicts the previous LRU entry).
 func (m *Manager) cacheStore(op int32, f, g, h, res Node) {
-	e := &m.cache[m.cacheSlot(op, f, g, h)]
+	s := m.cacheSlot(op, f, g, h) << 1
+	m.cache[s|1] = m.cache[s]
+	e := &m.cache[s]
 	e.op, e.f, e.g, e.h, e.res = op, f, g, h, res
 }
 
+// cacheSlot maps a key to its set index.
 func (m *Manager) cacheSlot(op int32, f, g, h Node) uint32 {
 	x := uint32(op)*0x27d4eb2f + uint32(f)*0x9e3779b9 + uint32(g)*0x85ebca6b + uint32(h)*0xc2b2ae35
 	x ^= x >> 13
-	return x & m.cacheMask
+	return x & m.setMask
 }
 
-// clearCache invalidates the whole operation cache (after GC).
+// clearCache invalidates both operation caches unconditionally (legacy
+// GC behaviour; the overhauled sweep uses sweepCaches instead).
 func (m *Manager) clearCache() {
 	for i := range m.cache {
 		m.cache[i] = cacheEntry{}
 	}
+	for i := range m.axCache {
+		m.axCache[i] = axEntry{}
+	}
+}
+
+// sweepCaches drops exactly the cache entries whose operands or result
+// died in the collection that produced mark, keeping the rest warm.
+// Restrict entries pack a level (not a handle) into g, so only f and the
+// result decide their fate — the level is skipped by construction.
+func (m *Manager) sweepCaches(mark []bool) {
+	retained, invalidated := uint64(0), uint64(0)
+	for i := range m.cache {
+		e := &m.cache[i]
+		if e.op == 0 {
+			continue
+		}
+		live := mark[e.f] && mark[e.res]
+		switch e.op {
+		case opRestrictF, opRestrictT:
+			// g is a level, h unused.
+		default:
+			live = live && mark[e.g] && mark[e.h]
+		}
+		if live {
+			retained++
+		} else {
+			invalidated++
+			*e = cacheEntry{}
+		}
+	}
+	for i := range m.axCache {
+		e := &m.axCache[i]
+		if e.f == False {
+			continue
+		}
+		if mark[e.f] && mark[e.g] && mark[e.cube] && mark[e.res] {
+			retained++
+		} else {
+			invalidated++
+			*e = axEntry{}
+		}
+	}
+	m.stats.CacheRetained += retained
+	m.stats.CacheInvalidated += invalidated
 }
 
 // And returns f ∧ g.
@@ -60,22 +138,36 @@ func (m *Manager) Imp(f, g Node) Node { return m.Or(m.Not(f), g) }
 // Equiv returns f ↔ g.
 func (m *Manager) Equiv(f, g Node) Node { return m.Not(m.Xor(f, g)) }
 
-// AndN returns the conjunction of all operands (True for none).
+// AndN returns the conjunction of all operands (True for none). The
+// operands are folded as a balanced tree: a linear fold over k conjuncts
+// drags a lopsided intermediate through k-1 apply calls, while the
+// balanced tree keeps intermediates small and cache-friendly. The result
+// is the same canonical node either way.
 func (m *Manager) AndN(ns ...Node) Node {
-	r := True
-	for _, n := range ns {
-		r = m.And(r, n)
+	if m.legacy {
+		return m.legacyFoldN(opAnd, ns, True)
 	}
-	return r
+	return m.foldBalanced(opAnd, ns, True)
 }
 
-// OrN returns the disjunction of all operands (False for none).
+// OrN returns the disjunction of all operands (False for none), folded
+// as a balanced tree like AndN.
 func (m *Manager) OrN(ns ...Node) Node {
-	r := False
-	for _, n := range ns {
-		r = m.Or(r, n)
+	if m.legacy {
+		return m.legacyFoldN(opOr, ns, False)
 	}
-	return r
+	return m.foldBalanced(opOr, ns, False)
+}
+
+func (m *Manager) foldBalanced(op int32, ns []Node, unit Node) Node {
+	switch len(ns) {
+	case 0:
+		return unit
+	case 1:
+		return ns[0]
+	}
+	mid := len(ns) / 2
+	return m.apply(op, m.foldBalanced(op, ns[:mid], unit), m.foldBalanced(op, ns[mid:], unit))
 }
 
 // apply computes a binary boolean operation with memoization.
@@ -232,31 +324,30 @@ func (m *Manager) cofactor(n Node, lvl int32) (Node, Node) {
 
 // Restrict returns f with variable v fixed to the given value.
 func (m *Manager) Restrict(f Node, v int, value bool) Node {
-	lvl := int32(v)
-	var h Node
+	op := opRestrictF
 	if value {
-		h = 1
+		op = opRestrictT
 	}
-	return m.restrictRec(f, lvl, h)
+	return m.restrictRec(f, int32(v), op)
 }
 
-func (m *Manager) restrictRec(f Node, lvl int32, val Node) Node {
+func (m *Manager) restrictRec(f Node, lvl int32, op int32) Node {
 	if m.lvl[f] > lvl {
 		return f
 	}
 	if m.lvl[f] == lvl {
-		if val == True {
+		if op == opRestrictT {
 			return Node(m.hi[f])
 		}
 		return Node(m.lo[f])
 	}
-	if r, ok := m.cacheLookup(opRestrict, f, Node(lvl), val); ok {
+	if r, ok := m.cacheLookup(op, f, Node(lvl), 0); ok {
 		return r
 	}
-	lo := m.restrictRec(Node(m.lo[f]), lvl, val)
-	hi := m.restrictRec(Node(m.hi[f]), lvl, val)
+	lo := m.restrictRec(Node(m.lo[f]), lvl, op)
+	hi := m.restrictRec(Node(m.hi[f]), lvl, op)
 	r := m.mk(m.lvl[f], lo, hi)
-	m.cacheStore(opRestrict, f, Node(lvl), val, r)
+	m.cacheStore(op, f, Node(lvl), 0, r)
 	return r
 }
 
@@ -267,10 +358,10 @@ func (m *Manager) RestrictCube(f, cube Node) Node {
 	for cube > True {
 		lvl := m.lvl[cube]
 		if Node(m.lo[cube]) == False {
-			f = m.restrictRec(f, lvl, True)
+			f = m.restrictRec(f, lvl, opRestrictT)
 			cube = Node(m.hi[cube])
 		} else if Node(m.hi[cube]) == False {
-			f = m.restrictRec(f, lvl, False)
+			f = m.restrictRec(f, lvl, opRestrictF)
 			cube = Node(m.lo[cube])
 		} else {
 			panic("bdd: RestrictCube argument is not a cube")
@@ -285,32 +376,62 @@ func (m *Manager) Exists(f Node, v int) Node {
 }
 
 // ExistsSet existentially quantifies every variable of vars out of f.
+// The varset is hash-consed into a positive cube so the shared operation
+// cache memoizes (f, varset) pairs across calls — repeated projections
+// over the same variables (TopoOnly/HeaderOnly in the pipeline) hit the
+// cache instead of rebuilding a per-call map.
 func (m *Manager) ExistsSet(f Node, vars []int) Node {
-	set := make(map[int32]bool, len(vars))
-	for _, v := range vars {
-		set[int32(v)] = true
+	if m.legacy {
+		return m.legacyExistsSet(f, vars)
 	}
-	memo := make(map[Node]Node)
-	var rec func(Node) Node
-	rec = func(n Node) Node {
-		if n <= True {
-			return n
-		}
-		if r, ok := memo[n]; ok {
-			return r
-		}
-		lo := rec(Node(m.lo[n]))
-		hi := rec(Node(m.hi[n]))
-		var r Node
-		if set[m.lvl[n]] {
-			r = m.Or(lo, hi)
-		} else {
-			r = m.mk(m.lvl[n], lo, hi)
-		}
-		memo[n] = r
+	return m.existsRec(f, m.CubeVars(vars))
+}
+
+// ExistsCube existentially quantifies every variable of the positive
+// cube out of f. The cube is the canonical varset representation: build
+// it once with CubeVars, keep it referenced, and every projection over
+// it shares operation-cache entries.
+func (m *Manager) ExistsCube(f, cube Node) Node {
+	if m.legacy {
+		return m.legacyExistsSet(f, m.cubeVarList(cube))
+	}
+	return m.existsRec(f, cube)
+}
+
+func (m *Manager) existsRec(f, cube Node) Node {
+	if f <= True {
+		return f
+	}
+	lf := m.lvl[f]
+	// Quantified variables above f's root are not in f's support: drop
+	// them so calls with supersets of the relevant varset share cache
+	// entries.
+	for cube > True && m.lvl[cube] < lf {
+		cube = Node(m.hi[cube])
+	}
+	if cube == True {
+		return f
+	}
+	if r, ok := m.cacheLookup(opExists, f, cube, 0); ok {
 		return r
 	}
-	return rec(f)
+	m.pollInterrupt()
+	var r Node
+	if m.lvl[cube] == lf {
+		rest := Node(m.hi[cube])
+		lo := m.existsRec(Node(m.lo[f]), rest)
+		if lo == True { // ∃-abstraction saturated; skip the hi branch
+			r = True
+		} else {
+			r = m.Or(lo, m.existsRec(Node(m.hi[f]), rest))
+		}
+	} else {
+		lo := m.existsRec(Node(m.lo[f]), cube)
+		hi := m.existsRec(Node(m.hi[f]), cube)
+		r = m.mk(lf, lo, hi)
+	}
+	m.cacheStore(opExists, f, cube, 0, r)
+	return r
 }
 
 // Compose returns f with variable v replaced by the function g:
@@ -321,27 +442,108 @@ func (m *Manager) Compose(f Node, v int, g Node) Node {
 	return m.Ite(g, hi, lo)
 }
 
+// AndSat reports whether f ∧ g is satisfiable without materializing the
+// conjunction: the recursion terminates on the first path both operands
+// keep alive. Any node other than False is satisfiable, so the terminal
+// cases collapse fast and the cached result is a terminal.
+func (m *Manager) AndSat(f, g Node) bool {
+	if m.legacy {
+		return m.And(f, g) != False
+	}
+	return m.andSatRec(f, g) == True
+}
+
+func (m *Manager) andSatRec(f, g Node) Node {
+	if f == False || g == False {
+		return False
+	}
+	if f == True || g == True || f == g {
+		return True
+	}
+	if f > g {
+		f, g = g, f
+	}
+	if r, ok := m.cacheLookup(opAndSat, f, g, 0); ok {
+		return r
+	}
+	m.pollInterrupt()
+	lvl := m.lvl[f]
+	if m.lvl[g] < lvl {
+		lvl = m.lvl[g]
+	}
+	f0, f1 := m.cofactor(f, lvl)
+	g0, g1 := m.cofactor(g, lvl)
+	r := m.andSatRec(f0, g0)
+	if r != True {
+		r = m.andSatRec(f1, g1)
+	}
+	m.cacheStore(opAndSat, f, g, 0, r)
+	return r
+}
+
+// DiffSat reports whether f ∧ ¬g is satisfiable — i.e. whether f covers
+// anything outside g — without materializing the difference. It is the
+// kernel primitive behind "does the property hold everywhere" checks.
+func (m *Manager) DiffSat(f, g Node) bool {
+	if m.legacy {
+		return m.Diff(f, g) != False
+	}
+	return m.diffSatRec(f, g) == True
+}
+
+func (m *Manager) diffSatRec(f, g Node) Node {
+	if f == False || g == True || f == g {
+		return False
+	}
+	if g == False || f == True {
+		// f ≠ False and ¬g ≠ False: both have satisfying paths, and one
+		// side is unconstrained.
+		return True
+	}
+	if r, ok := m.cacheLookup(opDiffSat, f, g, 0); ok {
+		return r
+	}
+	m.pollInterrupt()
+	lvl := m.lvl[f]
+	if m.lvl[g] < lvl {
+		lvl = m.lvl[g]
+	}
+	f0, f1 := m.cofactor(f, lvl)
+	g0, g1 := m.cofactor(g, lvl)
+	r := m.diffSatRec(f0, g0)
+	if r != True {
+		r = m.diffSatRec(f1, g1)
+	}
+	m.cacheStore(opDiffSat, f, g, 0, r)
+	return r
+}
+
 // Support returns the sorted list of variables on which f depends.
 func (m *Manager) Support(f Node) []int {
-	seen := make(map[Node]bool)
-	vars := make(map[int32]bool)
-	var rec func(Node)
-	rec = func(n Node) {
-		if n <= True || seen[n] {
-			return
-		}
-		seen[n] = true
-		vars[m.lvl[n]] = true
-		rec(Node(m.lo[n]))
-		rec(Node(m.hi[n]))
+	if m.legacy {
+		return m.legacySupport(f)
 	}
-	rec(f)
-	out := make([]int, 0, len(vars))
-	for v := range vars {
-		out = append(out, int(v))
-	}
+	m.i32memo.begin(len(m.lvl))
+	m.varSeen.begin(m.vars)
+	out := make([]int, 0, 16)
+	out = m.supportRec(f, out)
 	sortInts(out)
 	return out
+}
+
+func (m *Manager) supportRec(n Node, out []int) []int {
+	if n <= True {
+		return out
+	}
+	if _, seen := m.i32memo.get(n); seen {
+		return out
+	}
+	m.i32memo.put(n, 0)
+	if m.varSeen.mark(m.lvl[n]) {
+		out = append(out, int(m.lvl[n]))
+	}
+	out = m.supportRec(Node(m.lo[n]), out)
+	return m.supportRec(Node(m.hi[n]), out)
 }
 
 func sortInts(a []int) {
@@ -354,35 +556,100 @@ func sortInts(a []int) {
 }
 
 // Cube returns the conjunction of the given literals: vars[i] appears
-// positively if values[i] is true, negatively otherwise.
+// positively if values[i] is true, negatively otherwise. The cube is
+// built bottom-up from the deepest level with mk — one canonical node
+// per literal — instead of n And calls through the operation cache.
 func (m *Manager) Cube(vars []int, values []bool) Node {
 	if len(vars) != len(values) {
 		panic("bdd: Cube length mismatch")
 	}
+	if m.legacy {
+		return m.legacyCube(vars, values)
+	}
+	order := sortedVarOrder(vars)
 	r := True
-	for i := range vars {
-		if values[i] {
-			r = m.And(r, m.Var(vars[i]))
+	prev := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		k := order[i]
+		v := vars[k]
+		if v == prev {
+			// Duplicate literal: identical polarity is redundant,
+			// conflicting polarity empties the cube.
+			if values[k] != values[order[i+1]] {
+				return False
+			}
+			continue
+		}
+		prev = v
+		if values[k] {
+			r = m.mk(int32(v), False, r)
 		} else {
-			r = m.And(r, m.NVar(vars[i]))
+			r = m.mk(int32(v), r, False)
 		}
 	}
 	return r
 }
 
+// CubeVars returns the positive cube over vars — the canonical varset
+// node used as ExistsCube/AndExists quantifier. Built bottom-up with mk.
+func (m *Manager) CubeVars(vars []int) Node {
+	order := sortedVarOrder(vars)
+	r := True
+	prev := -1
+	for i := len(order) - 1; i >= 0; i-- {
+		v := vars[order[i]]
+		if v == prev {
+			continue
+		}
+		prev = v
+		r = m.mk(int32(v), False, r)
+	}
+	return r
+}
+
+// sortedVarOrder returns the indices of vars sorted by ascending
+// variable, leaving vars itself untouched (callers pass shared slices).
+func sortedVarOrder(vars []int) []int {
+	order := make([]int, len(vars))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && vars[order[j]] < vars[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	return order
+}
+
+// cubeVarList expands a positive cube node back into its variable list
+// (legacy-path helper).
+func (m *Manager) cubeVarList(cube Node) []int {
+	var vars []int
+	for cube > True {
+		vars = append(vars, int(m.lvl[cube]))
+		cube = Node(m.hi[cube])
+	}
+	return vars
+}
+
 // NodeCount returns the number of distinct decision nodes reachable from
 // f (excluding terminals) — the "BDD size" reported in experiments.
 func (m *Manager) NodeCount(f Node) int {
-	seen := make(map[Node]bool)
-	var rec func(Node)
-	rec = func(n Node) {
-		if n <= True || seen[n] {
-			return
-		}
-		seen[n] = true
-		rec(Node(m.lo[n]))
-		rec(Node(m.hi[n]))
+	if m.legacy {
+		return m.legacyNodeCount(f)
 	}
-	rec(f)
-	return len(seen)
+	m.i32memo.begin(len(m.lvl))
+	return m.nodeCountRec(f)
+}
+
+func (m *Manager) nodeCountRec(n Node) int {
+	if n <= True {
+		return 0
+	}
+	if _, seen := m.i32memo.get(n); seen {
+		return 0
+	}
+	m.i32memo.put(n, 0)
+	return 1 + m.nodeCountRec(Node(m.lo[n])) + m.nodeCountRec(Node(m.hi[n]))
 }

@@ -77,6 +77,10 @@ type Options struct {
 	// engine's behalf (analysis.Run and the miner; engines given an
 	// explicit space ignore it). Zero means the bdd package default.
 	BDDNodeLimit int
+	// LegacyBDDKernel selects the pre-overhaul BDD kernel paths in
+	// spaces created on the engine's behalf (see bdd.Config.
+	// LegacyKernel). Results are identical; only throughput differs.
+	LegacyBDDKernel bool
 	// Parallelism is the worker count of the multi-prefix drivers built
 	// on top of the engine (the partitioned runner and the spec miner),
 	// which run per-prefix pipelines concurrently — each worker with

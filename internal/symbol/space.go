@@ -27,6 +27,14 @@ type Space struct {
 
 	prefixCache map[route.Prefix]bdd.Node
 	allLinkVars []int
+
+	// Hash-consed quantifier cubes, built lazily and kept Ref'd so they
+	// survive GC: headerCube spans the header bits, nonHeaderCube spans
+	// the link (and node) variables. Keying the op cache on these shared
+	// cube nodes lets every TopoOnly/HeaderOnly call hit the same cache
+	// entries instead of rebuilding per-call variable sets.
+	headerCube    bdd.Node
+	nonHeaderCube bdd.Node
 }
 
 // NewSpace creates a symbolic space for a topology with the given number
@@ -101,24 +109,60 @@ func (s *Space) AllLinksUp() bdd.Node {
 	return s.M.AtMostKFalse(s.allLinkVars, 0)
 }
 
+// HeaderCube returns the positive cube over all header variables, the
+// varset for quantifying packet bits away.
+func (s *Space) HeaderCube() bdd.Node {
+	if s.headerCube == bdd.False {
+		vars := make([]int, HeaderBits)
+		for i := range vars {
+			vars[i] = i
+		}
+		s.headerCube = s.M.Ref(s.M.CubeVars(vars))
+	}
+	return s.headerCube
+}
+
+// NonHeaderCube returns the positive cube over the link (and node)
+// variables, the varset for quantifying topology state away.
+func (s *Space) NonHeaderCube() bdd.Node {
+	if s.nonHeaderCube == bdd.False {
+		vars := make([]int, s.M.NumVars()-HeaderBits)
+		for i := range vars {
+			vars[i] = HeaderBits + i
+		}
+		s.nonHeaderCube = s.M.Ref(s.M.CubeVars(vars))
+	}
+	return s.nonHeaderCube
+}
+
 // TopoOnly existentially quantifies the header bits out of f, leaving a
 // condition over link variables only.
 func (s *Space) TopoOnly(f bdd.Node) bdd.Node {
-	vars := make([]int, HeaderBits)
-	for i := range vars {
-		vars[i] = i
-	}
-	return s.M.ExistsSet(f, vars)
+	return s.M.ExistsCube(f, s.HeaderCube())
+}
+
+// TopoOnlyAnd returns TopoOnly(f ∧ g) as one fused relational product,
+// never materializing the conjunction.
+func (s *Space) TopoOnlyAnd(f, g bdd.Node) bdd.Node {
+	return s.M.AndExists(f, g, s.HeaderCube())
 }
 
 // HeaderOnly existentially quantifies the link (and node) variables out
 // of f, leaving a packet-set BDD.
 func (s *Space) HeaderOnly(f bdd.Node) bdd.Node {
-	vars := make([]int, s.M.NumVars()-HeaderBits)
-	for i := range vars {
-		vars[i] = HeaderBits + i
-	}
-	return s.M.ExistsSet(f, vars)
+	return s.M.ExistsCube(f, s.NonHeaderCube())
+}
+
+// HeaderOnlyAnd returns HeaderOnly(f ∧ g) as one fused relational
+// product.
+func (s *Space) HeaderOnlyAnd(f, g bdd.Node) bdd.Node {
+	return s.M.AndExists(f, g, s.NonHeaderCube())
+}
+
+// Intersects reports whether f ∧ g is satisfiable without building the
+// conjunction.
+func (s *Space) Intersects(f, g bdd.Node) bool {
+	return s.M.AndSat(f, g)
 }
 
 // LinkProbabilities returns a probability vector assigning each link

@@ -86,6 +86,20 @@ type BDDMetrics struct {
 	CacheHits     uint64  `json:"cache_hits"`
 	CacheMisses   uint64  `json:"cache_misses"`
 	CacheHitRatio float64 `json:"cache_hit_ratio"`
+	// AxCacheHits/AxCacheMisses count the dedicated AndExists
+	// relational-product cache.
+	AxCacheHits   uint64 `json:"ax_cache_hits"`
+	AxCacheMisses uint64 `json:"ax_cache_misses"`
+	// CacheRetained/CacheInvalidated count operation-cache entries kept
+	// and dropped across GC sweeps (the legacy kernel wipes everything,
+	// so it reports zero retained).
+	CacheRetained    uint64 `json:"cache_retained"`
+	CacheInvalidated uint64 `json:"cache_invalidated"`
+	// PreGCCacheHitRatio is the hit ratio accumulated up to the most
+	// recent collection; PostGCCacheHitRatio the ratio since. Comparable
+	// figures mean cache warmth survives collections.
+	PreGCCacheHitRatio  float64 `json:"pre_gc_cache_hit_ratio"`
+	PostGCCacheHitRatio float64 `json:"post_gc_cache_hit_ratio"`
 }
 
 // Metrics returns the metrics of the verifier's symbolic execution. The
@@ -98,6 +112,7 @@ func (v *Verifier) Metrics() MetricsReport {
 		NumRouters: v.net.Topology.NumRouters(),
 		NumLinks:   v.net.Topology.NumLinks(),
 	}
+	var hitsAtGC, missAtGC uint64
 	for _, pipe := range v.allPipes() {
 		est := pipe.Eng.Statistics()
 		bst := pipe.Sp.M.Statistics()
@@ -114,9 +129,21 @@ func (v *Verifier) Metrics() MetricsReport {
 		r.BDD.GCRuns += bst.GCRuns
 		r.BDD.CacheHits += bst.CacheHits
 		r.BDD.CacheMisses += bst.CacheMiss
+		r.BDD.AxCacheHits += bst.AxCacheHits
+		r.BDD.AxCacheMisses += bst.AxCacheMiss
+		r.BDD.CacheRetained += bst.CacheRetained
+		r.BDD.CacheInvalidated += bst.CacheInvalidated
+		hitsAtGC += bst.HitsAtLastGC
+		missAtGC += bst.MissAtLastGC
 	}
 	if total := r.BDD.CacheHits + r.BDD.CacheMisses; total > 0 {
 		r.BDD.CacheHitRatio = float64(r.BDD.CacheHits) / float64(total)
+	}
+	if total := hitsAtGC + missAtGC; total > 0 {
+		r.BDD.PreGCCacheHitRatio = float64(hitsAtGC) / float64(total)
+	}
+	if total := (r.BDD.CacheHits - hitsAtGC) + (r.BDD.CacheMisses - missAtGC); total > 0 {
+		r.BDD.PostGCCacheHitRatio = float64(r.BDD.CacheHits-hitsAtGC) / float64(total)
 	}
 	if v.tel != nil {
 		for _, pipe := range v.allPipes() {

@@ -17,8 +17,9 @@ type symbolSpace = symbol.Space
 // underlying manager; the interrupt hook (may be nil) is polled from the
 // manager's apply loops so cancellation reaches even the deepest BDD
 // recursions.
-func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry, interrupt func() error) *symbolSpace {
+func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry, interrupt func() error, legacy bool) *symbolSpace {
 	return symbol.NewSpace(net.Topology.NumLinks(),
-		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel, Interrupt: interrupt},
+		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel, Interrupt: interrupt,
+			LegacyKernel: legacy},
 		net.Topology.NumRouters())
 }

@@ -140,6 +140,11 @@ type Options struct {
 	// internal instance is created and its span tree is reported by
 	// Verifier.Metrics.
 	Trace bool
+	// LegacyBDDKernel runs the verifier on the pre-overhaul BDD kernel
+	// (map-memoized analyses, linear folds, full cache wipe at GC). It
+	// is a kill switch and the baseline of `srebench -exp bddkernel`;
+	// results are identical either way, only throughput differs.
+	LegacyBDDKernel bool
 }
 
 // telemetry resolves the telemetry instance implied by the options: the
@@ -217,7 +222,7 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 		return v, nil
 	}
 	srcOpts.Prefixes = prefixes
-	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry, srcOpts.Interrupt)
+	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry, srcOpts.Interrupt, opts.LegacyBDDKernel)
 	pipe, perr := analysis.RunWithSpace(net, sp, srcOpts)
 	if perr != nil {
 		return nil, perr
@@ -243,14 +248,15 @@ func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
 	// parallel run and costs the same on the sequential paths.
 	checker := resil.NewSharedChecker(opts.Context, opts.Timeout)
 	srcOpts := src.Options{
-		PruneK:       opts.MaxFailures,
-		Abstract:     opts.Abstract,
-		NoECMP:       opts.NoECMP,
-		IBGPFullMesh: opts.IBGPFullMesh,
-		Telemetry:    opts.telemetry(),
-		Interrupt:    checker.Fn(),
-		BDDNodeLimit: opts.BDDNodeLimit,
-		Parallelism:  opts.Parallelism,
+		PruneK:          opts.MaxFailures,
+		Abstract:        opts.Abstract,
+		NoECMP:          opts.NoECMP,
+		IBGPFullMesh:    opts.IBGPFullMesh,
+		Telemetry:       opts.telemetry(),
+		Interrupt:       checker.Fn(),
+		BDDNodeLimit:    opts.BDDNodeLimit,
+		Parallelism:     opts.Parallelism,
+		LegacyBDDKernel: opts.LegacyBDDKernel,
 	}
 	var prefixes []route.Prefix
 	for _, p := range opts.Prefixes {
