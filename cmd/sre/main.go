@@ -22,10 +22,14 @@
 // -nodelimit) and retries them on a degradation ladder instead of
 // failing the whole run.
 // Observability flags: -metrics <file> writes a JSON metrics report,
-// -progress prints live progress lines to stderr, -pprof <addr> serves
+// -progress prints live progress lines to stderr (an in-place status
+// line on a terminal, plain lines when piped), -trace-out <file> writes
+// a Chrome trace_event JSON viewable at ui.perfetto.dev, -events-out
+// <file> writes an NDJSON flight-recorder log for `srebench -compare`,
+// -quiet suppresses the stderr chatter, and -pprof <addr> serves
 // net/http/pprof. Flags may appear before or after the command. A
-// one-line summary (stage timings, peak BDD nodes) always prints to
-// stderr after the command.
+// one-line summary (stage timings, peak BDD nodes) prints to stderr
+// after the command unless -quiet.
 // The check command exits non-zero when any requirement fails, so it
 // slots into CI pipelines that gate configuration changes.
 package main
@@ -62,6 +66,9 @@ var (
 	resilient   = flag.Bool("resilient", false, "degrade gracefully when the BDD node table overflows: quarantine the offending prefix, retry it on the escalation ladder, and complete the rest")
 	nodeLimit   = flag.Int("nodelimit", 0, "BDD node table cap (0 = package default); overflowing it fails the run, or degrades it under -resilient")
 	parallel    = flag.Int("parallel", 0, "worker count for per-prefix parallel verification (0 = one per CPU, 1 = sequential)")
+	traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (view at ui.perfetto.dev)")
+	eventsOut   = flag.String("events-out", "", "write an NDJSON flight-recorder event log (input of srebench -compare)")
+	quiet       = flag.Bool("quiet", false, "suppress progress, summary, and resilience lines on stderr")
 )
 
 func usage() {
@@ -120,8 +127,13 @@ func main() {
 	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
 		Telemetry: tel, Context: ctx, Timeout: *timeoutFlag, Resilient: *resilient,
 		BDDNodeLimit: *nodeLimit, Parallelism: *parallel}
-	if *progress {
+	if *progress && !*quiet {
 		opts.Progress = sre.StderrProgress()
+	}
+	var rec *sre.FlightRecorder
+	if *traceOut != "" || *eventsOut != "" {
+		rec = sre.NewFlightRecorder(0)
+		opts.Recorder = rec
 	}
 	start := time.Now()
 	exitCode := 0
@@ -165,7 +177,41 @@ func main() {
 		exitCode = runQuery(v, cmd, rest)
 	}
 	finish(v, tel, start)
+	writeExports(rec)
 	os.Exit(exitCode)
+}
+
+// writeExports writes the flight-recorder exports requested by
+// -trace-out and -events-out.
+func writeExports(rec *sre.FlightRecorder) {
+	if rec == nil {
+		return
+	}
+	env := sre.Environment()
+	env.BDDKernel = "flat"
+	env.Parallelism = *parallel
+	for _, out := range []struct {
+		path  string
+		write func(f *os.File) error
+	}{
+		{*traceOut, func(f *os.File) error { return rec.WriteChromeTrace(f, env) }},
+		{*eventsOut, func(f *os.File) error { return rec.WriteEventLog(f, env) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			fatal(err)
+		}
+		err = out.write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
 }
 
 // runQuery executes a verifier-backed command and returns the process
@@ -252,7 +298,11 @@ func runQuery(v *sre.Verifier, cmd string, rest []string) int {
 // metrics report when -metrics was given. It runs for every command,
 // including failing check runs.
 func finish(v *sre.Verifier, tel *sre.Telemetry, start time.Time) {
-	if v != nil {
+	if *quiet {
+		if *metricsPath == "" {
+			return
+		}
+	} else if v != nil {
 		m := v.Metrics()
 		fmt.Fprintf(os.Stderr,
 			"summary: src %.3fs, spf %.3fs, %s PFECs, bdd peak %s nodes, cache hit %s, gc %d\n",
@@ -309,6 +359,9 @@ func fatal(err error) {
 // quarantine, degrade, or give up on. Cleanly verified prefixes stay
 // silent.
 func printOutcomes(outs []sre.PrefixOutcome) {
+	if *quiet {
+		return
+	}
 	for _, o := range outs {
 		switch {
 		case o.Err != nil:

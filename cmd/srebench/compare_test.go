@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sre/internal/obs"
+)
+
+func writeRows(t *testing.T, path string, rows []benchRow) {
+	t.Helper()
+	data, err := json.Marshal(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sampleRows(env *obs.EnvInfo) []benchRow {
+	return []benchRow{
+		{Experiment: "parallel", Dataset: "FatTree(4)", System: "sequential", K: 2, Seconds: 1.0, Outcome: "ok", Env: env},
+		{Experiment: "parallel", Dataset: "FatTree(4)", System: "parallel-4", K: 2, Seconds: 0.4, Outcome: "ok", Env: env},
+		{Experiment: "parallel", Dataset: "FatTree(8)", System: "sequential", K: 1, Seconds: 5.0, Outcome: "ok", Env: env},
+	}
+}
+
+// TestCompareSelfDiff: comparing a file against itself reports no
+// regressions and exits 0.
+func TestCompareSelfDiff(t *testing.T) {
+	dir := t.TempDir()
+	env := obs.Environment()
+	path := filepath.Join(dir, "BENCH_parallel.json")
+	writeRows(t, path, sampleRows(&env))
+	if code := runCompare([]string{path, path}); code != 0 {
+		t.Fatalf("self-diff exited %d, want 0", code)
+	}
+}
+
+// TestCompareDetectsSlowdown: a synthetic 2× slowdown of one cell is a
+// regression past the default 1.25× threshold — exit 1.
+func TestCompareDetectsSlowdown(t *testing.T) {
+	dir := t.TempDir()
+	env := obs.Environment()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRows(t, oldPath, sampleRows(&env))
+	slow := sampleRows(&env)
+	slow[2].Seconds *= 2
+	writeRows(t, newPath, slow)
+	if code := runCompare([]string{oldPath, newPath}); code != 1 {
+		t.Fatalf("2x slowdown exited %d, want 1", code)
+	}
+}
+
+// TestCompareBelowNoiseFloor: a large ratio on a tiny absolute delta
+// stays under -mindelta and must not fail the gate.
+func TestCompareBelowNoiseFloor(t *testing.T) {
+	dir := t.TempDir()
+	env := obs.Environment()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	rows := []benchRow{{Experiment: "parallel", Dataset: "tiny", K: 0, Seconds: 0.001, Outcome: "ok", Env: &env}}
+	writeRows(t, oldPath, rows)
+	rows2 := []benchRow{{Experiment: "parallel", Dataset: "tiny", K: 0, Seconds: 0.003, Outcome: "ok", Env: &env}}
+	writeRows(t, newPath, rows2)
+	if code := runCompare([]string{oldPath, newPath}); code != 0 {
+		t.Fatalf("3x on 2ms exited %d, want 0 (under the 10ms noise floor)", code)
+	}
+}
+
+// TestCompareOutcomeFlip: an ok cell turning non-ok is a regression
+// regardless of timing.
+func TestCompareOutcomeFlip(t *testing.T) {
+	dir := t.TempDir()
+	env := obs.Environment()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRows(t, oldPath, sampleRows(&env))
+	bad := sampleRows(&env)
+	bad[0].Outcome = "bdd-limit"
+	writeRows(t, newPath, bad)
+	if code := runCompare([]string{oldPath, newPath}); code != 1 {
+		t.Fatalf("ok->bdd-limit exited %d, want 1", code)
+	}
+}
+
+// TestCompareRefusesEnvMismatch: different environments exit 2 by
+// default and compare with a warning under -allow-env-mismatch.
+func TestCompareRefusesEnvMismatch(t *testing.T) {
+	dir := t.TempDir()
+	envA := obs.Environment()
+	envB := envA
+	envB.GoVersion = envA.GoVersion + "-other"
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeRows(t, oldPath, sampleRows(&envA))
+	writeRows(t, newPath, sampleRows(&envB))
+	if code := runCompare([]string{oldPath, newPath}); code != 2 {
+		t.Fatalf("env mismatch exited %d, want 2", code)
+	}
+	*allowEnvMis = true
+	defer func() { *allowEnvMis = false }()
+	if code := runCompare([]string{oldPath, newPath}); code != 0 {
+		t.Fatalf("env mismatch with -allow-env-mismatch exited %d, want 0", code)
+	}
+}
+
+// TestCompareBaselineResolution: with -baseline, the old side resolves
+// to <dir>/BENCH_<experiment>.json from the new file's experiment name.
+func TestCompareBaselineResolution(t *testing.T) {
+	dir := t.TempDir()
+	env := obs.Environment()
+	writeRows(t, filepath.Join(dir, "BENCH_parallel.json"), sampleRows(&env))
+	newPath := filepath.Join(dir, "new.json")
+	writeRows(t, newPath, sampleRows(&env))
+	*baselineDir = dir
+	defer func() { *baselineDir = "" }()
+	if code := runCompare([]string{newPath}); code != 0 {
+		t.Fatalf("baseline self-diff exited %d, want 0", code)
+	}
+}
+
+// TestCompareEventLogs: the comparator also diffs NDJSON event logs,
+// aggregating wall time per stage; a 2× stage slowdown fails.
+func TestCompareEventLogs(t *testing.T) {
+	dir := t.TempDir()
+	mkLog := func(name string, spfWall int64) string {
+		rec := obs.NewRecorder(64)
+		tel := obs.New()
+		tel.SetRecorder(rec)
+		tel.Record(rec.Epoch(), obs.TraceEvent{Stage: "src", Wall: 400_000_000, Outcome: "ok"})
+		tel.Record(rec.Epoch(), obs.TraceEvent{Stage: "spf", Wall: spfWall, Outcome: "ok"})
+		path := filepath.Join(dir, name)
+		f, err := os.Create(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		if err := rec.WriteEventLog(f, obs.Environment()); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := mkLog("old.ndjson", 600_000_000)
+	newPath := mkLog("new.ndjson", 1_200_000_000)
+	if code := runCompare([]string{oldPath, oldPath}); code != 0 {
+		t.Fatalf("event-log self-diff exited %d, want 0", code)
+	}
+	if code := runCompare([]string{oldPath, newPath}); code != 1 {
+		t.Fatalf("event-log 2x spf slowdown exited %d, want 1", code)
+	}
+}

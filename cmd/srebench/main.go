@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"sre/internal/obs"
 	"sre/internal/resil"
 	"sre/internal/src"
 )
@@ -36,6 +37,15 @@ var (
 	metricsDir = flag.String("metricsdir", "", "write BENCH_<exp>.json files with per-cell metrics into this directory")
 	deadline   = flag.Duration("deadline", 0, "hard per-cell wall-clock deadline enforced inside the symbolic pipeline; an expired cell aborts with a deadline error instead of running away (0 = none). Unlike -budget, which skips future cells, -deadline interrupts a running one.")
 	parallelN  = flag.Int("parallel", 4, "worker count for the parallel experiment's concurrent cells (its baseline always runs at 1)")
+
+	// Regression-comparator flags (srebench -compare old new, or
+	// srebench -compare -baseline <dir> new).
+	compareFlag = flag.Bool("compare", false, "compare two measurement files (BENCH_*.json rows or sre -events-out logs) and report per-stage/per-cell regressions; exits 1 past -threshold, 2 on incomparable environments")
+	baselineDir = flag.String("baseline", "", "directory holding baseline BENCH_<exp>.json files; with -compare and a single file argument, the old side is resolved here by experiment name")
+	threshold   = flag.Float64("threshold", 1.25, "regression threshold for -compare: new/old wall-time ratio above this fails the comparison")
+	topK        = flag.Int("topk", 10, "rows shown in the -compare delta table")
+	minDelta    = flag.Duration("mindelta", 10*time.Millisecond, "absolute slowdown below this never fails -compare (noise floor)")
+	allowEnvMis = flag.Bool("allow-env-mismatch", false, "downgrade -compare environment mismatches from a refusal (exit 2) to a warning")
 )
 
 // withResilience arms the -deadline budget on engine options. Each call
@@ -66,15 +76,27 @@ type benchRow struct {
 	Speedup          float64 `json:"speedup,omitempty"`
 	ResultsIdentical bool    `json:"results_identical,omitempty"`
 	Outcome          string  `json:"outcome"` // ok, bdd-limit, error, skipped
+	// Env records the machine and toolchain of the measurement, so
+	// `srebench -compare` can refuse apples-to-oranges diffs.
+	Env *obs.EnvInfo `json:"env,omitempty"`
 }
 
-var benchRows []benchRow
+var (
+	benchRows []benchRow
+	benchEnv  *obs.EnvInfo
+)
 
 // record collects a measurement; a no-op unless -metricsdir is set.
 func record(r benchRow) {
-	if *metricsDir != "" {
-		benchRows = append(benchRows, r)
+	if *metricsDir == "" {
+		return
 	}
+	if benchEnv == nil {
+		e := obs.Environment()
+		benchEnv = &e
+	}
+	r.Env = benchEnv
+	benchRows = append(benchRows, r)
 }
 
 // flushBench writes and clears the collected rows of one experiment.
@@ -120,6 +142,9 @@ func getScale() scale {
 
 func main() {
 	flag.Parse()
+	if *compareFlag {
+		os.Exit(runCompare(flag.Args()))
+	}
 	sc := getScale()
 	exps := map[string]func(scale){
 		"fig5":      fig5,

@@ -97,6 +97,18 @@ func runPipeline(net *config.Network, sp *symbol.Space, opts src.Options, scope 
 	root := p.Tel.Start("pipeline")
 	defer root.End()
 
+	// Flight recorder: one event per stage boundary, attributed to the
+	// pipeline's prefix scope, carrying BDD node/cache deltas. All
+	// snapshot work is guarded by Recording() so a disabled recorder
+	// costs a nil check.
+	recording := p.Tel.Recording()
+	var recPfx string
+	var st0 bdd.Stats
+	if recording {
+		recPfx = scopeLabel(opts, scope)
+		st0 = sp.M.Statistics()
+	}
+
 	srcSpan := root.Start("src")
 	start := time.Now()
 	p.Eng = src.NewWithSpace(net, sp, opts)
@@ -111,6 +123,16 @@ func runPipeline(net *config.Network, sp *symbol.Space, opts src.Options, scope 
 		srcSpan.SetAttr("rib_routes", est.RIBRoutes)
 	}
 	srcSpan.End()
+	if recording {
+		st1 := sp.M.Statistics()
+		p.Tel.Record(start, obs.TraceEvent{
+			Stage: "src", Prefix: recPfx, Wall: p.SRCTime.Nanoseconds(),
+			Count: int64(p.Eng.Statistics().Activations),
+			Nodes: int64(st1.LiveNodes - st0.LiveNodes),
+			Cache: cacheLookupDelta(st0, st1), Outcome: "ok",
+		})
+		st0 = st1
+	}
 
 	// Stage boundary: a run canceled while SRC was finishing must not
 	// start forwarding. The same hook is polled inside BDD operations,
@@ -165,7 +187,36 @@ func runPipeline(net *config.Network, sp *symbol.Space, opts src.Options, scope 
 		sp.M.SampleTelemetry()
 	}
 	spfSpan.End()
+	if recording {
+		st1 := sp.M.Statistics()
+		p.Tel.Record(start, obs.TraceEvent{
+			Stage: "spf", Prefix: recPfx, Wall: p.SPFTime.Nanoseconds(),
+			Count: int64(total),
+			Nodes: int64(st1.LiveNodes - st0.LiveNodes),
+			Cache: cacheLookupDelta(st0, st1), Outcome: "ok",
+		})
+	}
 	return p, nil
+}
+
+// scopeLabel is the prefix attribution of a pipeline's flight-recorder
+// events: the explicit scope, or the single requested prefix of a
+// scoped per-prefix task ("" for multi-prefix pipelines).
+func scopeLabel(opts src.Options, scope *route.Prefix) string {
+	if scope != nil {
+		return scope.String()
+	}
+	if len(opts.Prefixes) == 1 {
+		return opts.Prefixes[0].String()
+	}
+	return ""
+}
+
+// cacheLookupDelta is the op-cache lookup count (hits+misses, both
+// caches) accrued between two manager snapshots.
+func cacheLookupDelta(a, b bdd.Stats) int64 {
+	return int64((b.CacheHits + b.CacheMiss + b.AxCacheHits + b.AxCacheMiss) -
+		(a.CacheHits + a.CacheMiss + a.AxCacheHits + a.AxCacheMiss))
 }
 
 // emitSPFProgress publishes one per-router SPF progress line, e.g.

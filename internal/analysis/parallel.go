@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"sre/internal/config"
 	"sre/internal/obs"
@@ -211,12 +212,17 @@ func newPrefixJob(pr *prefixRunner, pfx route.Prefix) *prefixJob {
 // either finished (success or ladder exhausted) or resubmitted itself;
 // a non-nil return aborts the pool.
 func (j *prefixJob) step(w *sched.Worker) error {
+	var t0 time.Time
+	if w.Tel.Recording() {
+		t0 = time.Now()
+	}
 	if j.idx == 0 {
 		o := j.r.base
 		o.Telemetry = w.Tel
 		o.Prefixes = j.domain
 		pipe, err := RunScoped(j.r.net, o, j.pfx)
 		if err == nil {
+			j.record(w, t0, "ok")
 			j.deliver(w, []*Pipeline{pipe})
 			return nil
 		}
@@ -225,6 +231,7 @@ func (j *prefixJob) step(w *sched.Worker) error {
 		}
 		j.out.Quarantined = true
 		w.Tel.Counter("resilience.quarantined").Inc()
+		j.record(w, t0, "quarantined")
 		j.lastErr = err
 		return j.next(w)
 	}
@@ -240,12 +247,14 @@ func (j *prefixJob) step(w *sched.Worker) error {
 		pipe, err := RunScoped(j.r.net, o, j.pfx)
 		if err == nil {
 			j.degrade(w, r.kDone)
+			j.record(w, t0, r.name)
 			j.deliver(w, []*Pipeline{pipe})
 			return nil
 		}
 		if !recoverable(err) {
 			return err
 		}
+		j.record(w, t0, "overflow")
 		j.lastErr = err
 		return j.next(w)
 	}
@@ -265,14 +274,31 @@ func (j *prefixJob) step(w *sched.Worker) error {
 			if !recoverable(err) {
 				return err
 			}
+			j.record(w, t0, "overflow")
 			j.lastErr = err
 			return j.next(w)
 		}
 		halves = append(halves, pipe)
 	}
 	j.degrade(w, r.kDone)
+	j.record(w, t0, RungSplitHeaders)
 	j.deliver(w, halves)
 	return nil
+}
+
+// record captures one per-prefix flight-recorder event for the attempt
+// started at t0: outcome is "ok", "quarantined", "overflow", "failed",
+// or the degradation rung that succeeded.
+func (j *prefixJob) record(w *sched.Worker, t0 time.Time, outcome string) {
+	if !w.Tel.Recording() {
+		return
+	}
+	var wall int64
+	if !t0.IsZero() {
+		wall = time.Since(t0).Nanoseconds()
+	}
+	w.Tel.Record(t0, obs.TraceEvent{Stage: "prefix", Prefix: j.pfx.String(),
+		Wall: wall, Count: int64(len(j.out.Rungs)), Outcome: outcome})
 }
 
 // next advances to the following rung, resubmitting the job, or fails
@@ -282,6 +308,7 @@ func (j *prefixJob) next(w *sched.Worker) error {
 	if j.idx > len(j.rungs) {
 		j.out.Err = j.lastErr
 		w.Tel.Counter("resilience.failed").Inc()
+		j.record(w, time.Time{}, "failed")
 		j.emit(w, fmt.Sprintf("prefix %s: failed after %d rungs: %v", j.pfx, len(j.out.Rungs), j.lastErr))
 		j.deliver(w, nil)
 		return nil

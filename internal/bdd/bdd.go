@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"sre/internal/obs"
 )
@@ -488,6 +489,10 @@ func (m *Manager) mk(lvl int32, lo, hi Node) Node {
 			if m.tel.Active() {
 				m.tel.Emit(obs.Event{Stage: "bdd", Final: true,
 					Detail: fmt.Sprintf("node table limit exceeded (%s nodes)", obs.HumanCount(int64(m.limit)))})
+			}
+			if m.tel.Recording() {
+				m.tel.Record(time.Time{}, obs.TraceEvent{Stage: "bdd.overflow",
+					Nodes: int64(m.limit), Outcome: "overflow"})
 			}
 			panic(bddPanic{ErrNodeLimit})
 		}

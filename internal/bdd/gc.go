@@ -2,6 +2,7 @@ package bdd
 
 import (
 	"fmt"
+	"time"
 
 	"sre/internal/obs"
 )
@@ -23,6 +24,11 @@ import (
 // are retained (warm restarts after GC); entries referencing a dead node
 // are invalidated. The legacy kernel wipes the caches wholesale.
 func (m *Manager) GC() int {
+	var gcT0 time.Time
+	recording := m.tel.Recording()
+	if recording {
+		gcT0 = time.Now()
+	}
 	mark := make([]bool, len(m.lvl))
 	mark[0], mark[1] = true, true
 	// Iterative DFS to avoid deep recursion on big diagrams.
@@ -94,6 +100,11 @@ func (m *Manager) GC() int {
 			Detail: fmt.Sprintf("gc #%d freed %s nodes, live %s (peak %s)",
 				m.stats.GCRuns, obs.HumanCount(int64(freed)),
 				obs.HumanCount(int64(m.nodes)), obs.HumanCount(int64(m.stats.PeakNodes)))})
+	}
+	if recording {
+		m.tel.Record(gcT0, obs.TraceEvent{Stage: "bdd.gc",
+			Wall: time.Since(gcT0).Nanoseconds(),
+			Count: int64(freed), Nodes: -int64(freed), Outcome: "ok"})
 	}
 	return freed
 }

@@ -1,0 +1,20 @@
+//go:build linux
+
+package obs
+
+import "syscall"
+
+// rusageThread is RUSAGE_THREAD, absent from the syscall package.
+const rusageThread = 1
+
+// ThreadCPUNanos returns the CPU time consumed by the calling OS
+// thread (user + system), in nanoseconds. Callers diff two readings
+// around a region; because goroutines may migrate threads, the delta is
+// best-effort — clamp negative differences to zero.
+func ThreadCPUNanos() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(rusageThread, &ru); err != nil {
+		return 0
+	}
+	return ru.Utime.Nano() + ru.Stime.Nano()
+}

@@ -1,0 +1,7 @@
+//go:build !linux
+
+package obs
+
+// ThreadCPUNanos returns 0 on platforms without per-thread rusage;
+// TraceEvent.CPU stays unset there.
+func ThreadCPUNanos() int64 { return 0 }

@@ -185,6 +185,11 @@ type Telemetry struct {
 	roots    []*Span
 
 	sink atomic.Pointer[sinkBox]
+	rec  atomic.Pointer[Recorder]
+	// worker tags the registry with the scheduler worker recording
+	// through it (see SetWorker); written before the worker goroutine
+	// starts, read by Record.
+	worker int32
 }
 
 type sinkBox struct{ s Sink }
@@ -277,7 +282,9 @@ func (t *Telemetry) Histogram(name string) *Histogram {
 // shard has its own instrument maps — updates touch no shared state, so
 // workers never contend on the parent's lock or cachelines — but
 // forwards progress events to the parent's sink (sinks must be safe for
-// concurrent use, which the package's sinks are). Fold a finished
+// concurrent use, which the package's sinks are) and records flight-
+// recorder events into the parent's recorder (whose ring is lock-
+// striped by worker, so shards lock disjoint stripes). Fold a finished
 // shard back with Merge. Returns nil on a nil registry.
 func (t *Telemetry) Shard() *Telemetry {
 	if t == nil {
@@ -285,6 +292,7 @@ func (t *Telemetry) Shard() *Telemetry {
 	}
 	s := New()
 	s.SetSink(SinkFunc(t.Emit))
+	s.SetRecorder(t.rec.Load())
 	return s
 }
 
@@ -327,6 +335,9 @@ func (t *Telemetry) Merge(s *Telemetry) {
 		t.roots = append(t.roots, roots...)
 		t.mu.Unlock()
 	}
+	// Shards created by Shard share the parent's recorder (absorb is a
+	// no-op then); a foreign shard's private recorder is drained in.
+	t.rec.Load().absorb(s.rec.Load())
 }
 
 // merge folds src into h bucket-wise.

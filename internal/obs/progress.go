@@ -105,6 +105,89 @@ func (t *Ticker) Emit(e Event) {
 	fmt.Fprintf(t.w, "%s: %s\n", e.Stage, e)
 }
 
+// IsTerminal reports whether f is an interactive terminal (a character
+// device). Progress sinks use it to decide between in-place ANSI
+// redraws and plain line-per-event output.
+func IsTerminal(f *os.File) bool {
+	if f == nil {
+		return false
+	}
+	info, err := f.Stat()
+	if err != nil {
+		return false
+	}
+	return info.Mode()&os.ModeCharDevice != 0
+}
+
+// StatusLine is the interactive progress sink: it redraws a single
+// status line in place (carriage return + erase-to-end-of-line), so a
+// terminal shows one live line instead of a scrolling log. Final events
+// are printed permanently (with a newline). Only suitable for
+// terminals — NewAutoTicker picks it automatically.
+type StatusLine struct {
+	w        io.Writer
+	interval time.Duration
+
+	mu   sync.Mutex
+	last time.Time
+	live bool // an unfinished status line is on screen
+}
+
+// NewStatusLine creates a status-line sink. A nil writer means
+// os.Stderr; a zero interval means 100ms.
+func NewStatusLine(w io.Writer, interval time.Duration) *StatusLine {
+	if w == nil {
+		w = os.Stderr
+	}
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	return &StatusLine{w: w, interval: interval}
+}
+
+// Emit implements Sink.
+func (s *StatusLine) Emit(e Event) {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !e.Final && now.Sub(s.last) < s.interval {
+		return
+	}
+	s.last = now
+	if e.Final {
+		fmt.Fprintf(s.w, "\r\x1b[K%s: %s\n", e.Stage, e)
+		s.live = false
+		return
+	}
+	fmt.Fprintf(s.w, "\r\x1b[K%s: %s", e.Stage, e)
+	s.live = true
+}
+
+// Close erases any live status line, leaving the cursor at column 0.
+// Call it before printing unrelated output.
+func (s *StatusLine) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.live {
+		fmt.Fprint(s.w, "\r\x1b[K")
+		s.live = false
+	}
+}
+
+// NewAutoTicker returns the progress sink appropriate for f: an ANSI
+// in-place StatusLine when f is an interactive terminal, a plain
+// line-per-event Ticker otherwise (pipes, files, CI logs). A nil f
+// means os.Stderr.
+func NewAutoTicker(f *os.File, interval time.Duration) Sink {
+	if f == nil {
+		f = os.Stderr
+	}
+	if IsTerminal(f) {
+		return NewStatusLine(f, interval)
+	}
+	return NewTicker(f, interval)
+}
+
 // HumanCount renders a count compactly: 912, 18.2k, 1.4M, 2.1G.
 func HumanCount(n int64) string {
 	f := float64(n)

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Chrome trace_event and NDJSON exporters for the flight recorder.
+//
+// WriteChromeTrace emits the Trace Event Format consumed by
+// chrome://tracing and https://ui.perfetto.dev: one track (tid) per
+// scheduler worker, stage spans nested by time containment ("task"
+// encloses the "src"/"spf" spans its pipeline ran), point events
+// (overflows) as instants. WriteEventLog emits one JSON object per
+// line — a header with environment metadata, then every event — the
+// machine format `srebench -compare` consumes, and the one multi-
+// process shards will ship to a coordinator.
+
+// chromeEvent is one entry of the trace_event JSON array.
+type chromeEvent struct {
+	Name string                 `json:"name"`
+	Cat  string                 `json:"cat,omitempty"`
+	Ph   string                 `json:"ph"`
+	TS   float64                `json:"ts"` // microseconds
+	Dur  float64                `json:"dur,omitempty"`
+	PID  int                    `json:"pid"`
+	TID  int32                  `json:"tid"`
+	Args map[string]interface{} `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object container format (the variant that
+// carries metadata next to the event array).
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	OtherData       interface{}   `json:"otherData,omitempty"`
+}
+
+// WriteChromeTrace writes the recorded events as Chrome trace_event
+// JSON, viewable in chrome://tracing or Perfetto. env is embedded as
+// trace metadata (pass Environment(), or a zero EnvInfo to omit).
+func (r *Recorder) WriteChromeTrace(w io.Writer, env EnvInfo) error {
+	events := r.Events()
+	trace := chromeTrace{DisplayTimeUnit: "ms"}
+	if !env.IsZero() {
+		trace.OtherData = env
+	}
+	workers := map[int32]bool{}
+	for _, e := range events {
+		workers[e.Worker] = true
+	}
+	// Name the per-worker tracks and order them by ID.
+	ids := make([]int32, 0, len(workers))
+	for id := range workers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		trace.TraceEvents = append(trace.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: id,
+			Args: map[string]interface{}{"name": fmt.Sprintf("worker %d", id)},
+		})
+	}
+	for _, e := range events {
+		ce := chromeEvent{
+			Name: e.Stage,
+			Cat:  strings.SplitN(e.Stage, ".", 2)[0],
+			Ph:   "X",
+			TS:   float64(e.Start) / 1e3,
+			Dur:  float64(e.Wall) / 1e3,
+			PID:  0,
+			TID:  e.Worker,
+		}
+		if e.Wall == 0 {
+			ce.Ph = "i" // instant event
+		}
+		args := map[string]interface{}{}
+		if e.Prefix != "" {
+			args["prefix"] = e.Prefix
+		}
+		if e.Outcome != "" {
+			args["outcome"] = e.Outcome
+		}
+		if e.Nodes != 0 {
+			args["bdd_node_delta"] = e.Nodes
+		}
+		if e.Cache != 0 {
+			args["opcache_lookups"] = e.Cache
+		}
+		if e.Count != 0 {
+			args["count"] = e.Count
+		}
+		if e.CPU != 0 {
+			args["cpu_ms"] = float64(e.CPU) / 1e6
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		trace.TraceEvents = append(trace.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(trace)
+}
+
+// EventLogFormat identifies the event-log header line.
+const EventLogFormat = "sre.events/v1"
+
+// EventLogHeader is the first line of an NDJSON event log.
+type EventLogHeader struct {
+	Format string `json:"format"`
+	// EpochUnixNs anchors the events' relative Start offsets in
+	// absolute time, so logs from different processes can be aligned.
+	EpochUnixNs int64   `json:"epoch_unix_ns"`
+	Env         EnvInfo `json:"env"`
+	// Events/Dropped describe the recorder at export time: events in
+	// the log and events lost to ring wraparound before it.
+	Events  int   `json:"events"`
+	Dropped int64 `json:"dropped"`
+}
+
+// WriteEventLog writes the recorded events as newline-delimited JSON: a
+// header line, then one TraceEvent per line, oldest first.
+func (r *Recorder) WriteEventLog(w io.Writer, env EnvInfo) error {
+	events := r.Events()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	hdr := EventLogHeader{
+		Format:      EventLogFormat,
+		EpochUnixNs: r.epoch.UnixNano(),
+		Env:         env,
+		Events:      len(events),
+		Dropped:     r.Dropped(),
+	}
+	if err := enc.Encode(hdr); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEventLog parses an NDJSON event log written by WriteEventLog.
+func ReadEventLog(rd io.Reader) (EventLogHeader, []TraceEvent, error) {
+	sc := bufio.NewScanner(rd)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var hdr EventLogHeader
+	var events []TraceEvent
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if first {
+			first = false
+			if err := json.Unmarshal([]byte(line), &hdr); err != nil {
+				return hdr, nil, fmt.Errorf("obs: event log header: %w", err)
+			}
+			if hdr.Format != EventLogFormat {
+				return hdr, nil, fmt.Errorf("obs: not an event log (format %q, want %q)", hdr.Format, EventLogFormat)
+			}
+			continue
+		}
+		var e TraceEvent
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return hdr, nil, fmt.Errorf("obs: event log line %d: %w", len(events)+2, err)
+		}
+		events = append(events, e)
+	}
+	if err := sc.Err(); err != nil {
+		return hdr, nil, err
+	}
+	if first {
+		return hdr, nil, fmt.Errorf("obs: empty event log")
+	}
+	return hdr, events, nil
+}

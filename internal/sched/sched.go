@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 
 	"sre/internal/obs"
 	"sre/internal/resil"
@@ -143,6 +144,7 @@ func New(cfg Config) *Pool {
 		w := &Worker{ID: i, Tel: cfg.Telemetry, pool: p}
 		if p.shards != nil {
 			p.shards[i] = cfg.Telemetry.Shard()
+			p.shards[i].SetWorker(i)
 			w.Tel = p.shards[i]
 		}
 		p.workers[i] = w
@@ -305,11 +307,31 @@ func (p *Pool) someWork() bool {
 // killing the process from a worker goroutine (where no caller-side
 // recover could catch it).
 func (p *Pool) runTask(w *Worker, it item) (err error) {
+	var t0 time.Time
+	var cpu0 int64
+	recording := w.Tel.Recording()
+	if recording {
+		t0 = time.Now()
+		cpu0 = obs.ThreadCPUNanos()
+	}
 	defer func() {
 		if r := recover(); r != nil {
 			w.Tel.Counter("resilience.panics").Inc()
 			err = fmt.Errorf("%w: panic in worker %d: %v\n%s",
 				resil.ErrInternal, w.ID, r, debug.Stack())
+		}
+		if recording {
+			cpu := obs.ThreadCPUNanos() - cpu0
+			if cpu < 0 { // thread migration: rusage is best-effort
+				cpu = 0
+			}
+			outcome := "ok"
+			if err != nil {
+				outcome = "error"
+			}
+			w.Tel.Record(t0, obs.TraceEvent{Stage: "task",
+				Wall: time.Since(t0).Nanoseconds(), CPU: cpu,
+				Count: it.cost, Outcome: outcome})
 		}
 	}()
 	return it.fn(w)

@@ -279,6 +279,13 @@ func (e *Engine) wantPrefix(p route.Prefix) bool {
 // not converge within the iteration bound.
 func (e *Engine) Run() error {
 	m := e.Sp.M
+	var runT0 time.Time
+	var runSt0 bdd.Stats
+	recording := e.tel.Recording()
+	if recording {
+		runT0 = time.Now()
+		runSt0 = e.Sp.M.Statistics()
+	}
 	if e.Opts.PruneK >= 0 {
 		e.filter = m.Ref(e.Sp.AtMostKLinkFailures(e.Opts.PruneK))
 	} else {
@@ -321,6 +328,19 @@ func (e *Engine) Run() error {
 	})
 	if e.tel.Active() {
 		e.emitProgress(true)
+	}
+	if recording {
+		st1 := e.Sp.M.Statistics()
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		e.tel.Record(runT0, obs.TraceEvent{Stage: "src.run",
+			Wall:  time.Since(runT0).Nanoseconds(),
+			Count: int64(e.stats.Activations),
+			Nodes: int64(st1.LiveNodes) - int64(runSt0.LiveNodes),
+			Cache: int64(st1.CacheHits+st1.CacheMiss) - int64(runSt0.CacheHits+runSt0.CacheMiss),
+			Outcome: outcome})
 	}
 	return err
 }

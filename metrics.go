@@ -3,6 +3,7 @@ package sre
 import (
 	"encoding/json"
 	"io"
+	"os"
 
 	"sre/internal/obs"
 	"sre/internal/prob"
@@ -44,9 +45,46 @@ func NewTelemetry() *Telemetry {
 	return t
 }
 
-// StderrProgress returns the default progress sink: a rate-limited
-// ticker printing one line per stage to stderr at most every 500ms.
-func StderrProgress() ProgressSink { return obs.NewTicker(nil, 0) }
+// StderrProgress returns the default progress sink: when stderr is an
+// interactive terminal, a single in-place status line (ANSI redraw);
+// otherwise (pipes, files, CI logs) a rate-limited ticker printing one
+// plain line per stage.
+func StderrProgress() ProgressSink { return obs.NewAutoTicker(os.Stderr, 0) }
+
+// FlightRecorder is a bounded, lock-striped ring buffer of structured
+// pipeline events (stage boundaries, scheduler tasks, per-prefix
+// degradation outcomes, BDD GC and overflow points). Create one with
+// NewFlightRecorder, pass it via Options.Recorder, and export the
+// recording with WriteChromeTrace (Perfetto / chrome://tracing) or
+// WriteEventLog (NDJSON, the input of `srebench -compare`).
+type FlightRecorder = obs.Recorder
+
+// TraceEvent is one recorded flight-recorder event.
+type TraceEvent = obs.TraceEvent
+
+// EnvInfo describes the host environment of a run (Go version,
+// GOMAXPROCS, CPU model, ...); embedded in exports so comparisons can
+// refuse apples-to-oranges diffs.
+type EnvInfo = obs.EnvInfo
+
+// NewFlightRecorder creates a flight recorder holding up to capacity
+// events (0 = the default, 65536); when full, the oldest events are
+// overwritten and counted as dropped.
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	return obs.NewRecorder(capacity)
+}
+
+// Environment returns metadata about the current host and process.
+func Environment() EnvInfo { return obs.Environment() }
+
+// EventLogHeader is the first line of an NDJSON flight-recorder log.
+type EventLogHeader = obs.EventLogHeader
+
+// ReadEventLog parses an NDJSON event log written by
+// FlightRecorder.WriteEventLog.
+func ReadEventLog(r io.Reader) (EventLogHeader, []TraceEvent, error) {
+	return obs.ReadEventLog(r)
+}
 
 // MetricsReport is the typed metrics summary of one verification run.
 // All fields are available even when telemetry was disabled; Telemetry

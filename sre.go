@@ -140,6 +140,15 @@ type Options struct {
 	// internal instance is created and its span tree is reported by
 	// Verifier.Metrics.
 	Trace bool
+	// Recorder, when non-nil, is a flight recorder capturing structured
+	// events at every pipeline stage boundary (SRC/SPF stages, scheduler
+	// tasks, per-prefix attempts, BDD GCs and overflows) into a bounded
+	// ring buffer. Export the recording with
+	// FlightRecorder.WriteChromeTrace (Perfetto/chrome://tracing) or
+	// WriteEventLog (NDJSON for `srebench -compare`). Setting Recorder
+	// without a Telemetry creates one internally. Nil costs nothing on
+	// the hot path.
+	Recorder *FlightRecorder
 	// LegacyBDDKernel runs the verifier on the pre-overhaul BDD kernel
 	// (map-memoized analyses, linear folds, full cache wipe at GC). It
 	// is a kill switch and the baseline of `srebench -exp bddkernel`;
@@ -152,11 +161,14 @@ type Options struct {
 // collection. The progress sink, if any, is installed on it.
 func (o Options) telemetry() *obs.Telemetry {
 	tel := o.Telemetry
-	if tel == nil && (o.Progress != nil || o.Trace) {
+	if tel == nil && (o.Progress != nil || o.Trace || o.Recorder != nil) {
 		tel = NewTelemetry()
 	}
 	if tel != nil && o.Progress != nil {
 		tel.SetSink(o.Progress)
+	}
+	if tel != nil && o.Recorder != nil {
+		tel.SetRecorder(o.Recorder)
 	}
 	return tel
 }
