@@ -30,6 +30,26 @@
 // net/http/pprof. Flags may appear before or after the command. A
 // one-line summary (stage timings, peak BDD nodes) prints to stderr
 // after the command unless -quiet.
+// Multi-process verification: -workers N fork/execs N `sre worker`
+// subprocesses and verifies prefixes across them under coordinator
+// supervision — crashed or wedged workers are detected (process exit,
+// heartbeat loss, undecodable frames), their tasks retried with backoff
+// on respawned workers, and prefixes that keep crashing fall back to
+// in-process verification. Results are byte-identical to an in-process
+// -parallel run. `sre worker` is the internal worker subcommand; it
+// speaks a framed protocol on stdin/stdout and is not for direct use.
+//
+// Exit code contract (stable; scripts and CI may rely on it):
+//
+//	0   success
+//	1   verification or query error (also: failed `check` requirements)
+//	2   usage error
+//	3   success, but at least one prefix was re-verified in-process
+//	    after repeated worker crashes (-workers only; results are
+//	    still exact — the code attributes the crashes)
+//	124 wall-clock budget expired (-timeout), matching timeout(1)
+//	130 interrupted by Ctrl-C (SIGINT), matching shell convention
+//
 // The check command exits non-zero when any requirement fails, so it
 // slots into CI pipelines that gate configuration changes.
 package main
@@ -47,6 +67,7 @@ import (
 	"time"
 
 	"sre"
+	"sre/internal/coord"
 	"sre/internal/obs"
 )
 
@@ -66,6 +87,7 @@ var (
 	resilient   = flag.Bool("resilient", false, "degrade gracefully when the BDD node table overflows: quarantine the offending prefix, retry it on the escalation ladder, and complete the rest")
 	nodeLimit   = flag.Int("nodelimit", 0, "BDD node table cap (0 = package default); overflowing it fails the run, or degrades it under -resilient")
 	parallel    = flag.Int("parallel", 0, "worker count for per-prefix parallel verification (0 = one per CPU, 1 = sequential)")
+	workers     = flag.Int("workers", 0, "verify across this many supervised worker subprocesses; crashed workers are retried and, past the attempt budget, their prefixes re-verified in-process (exit 3). 0 = in-process")
 	traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (view at ui.perfetto.dev)")
 	eventsOut   = flag.String("events-out", "", "write an NDJSON flight-recorder event log (input of srebench -compare)")
 	quiet       = flag.Bool("quiet", false, "suppress progress, summary, and resilience lines on stderr")
@@ -98,6 +120,12 @@ func parseCommandArgs(args []string) []string {
 }
 
 func main() {
+	// The worker subcommand must win before flag parsing: workers speak
+	// a framed binary protocol on stdin/stdout and share no flags with
+	// the coordinator-facing CLI.
+	if len(os.Args) > 1 && os.Args[1] == "worker" {
+		os.Exit(coord.WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
 	flag.Parse()
 	args := flag.Args()
 	if len(args) == 0 {
@@ -126,7 +154,7 @@ func main() {
 	tel := sre.NewTelemetry()
 	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
 		Telemetry: tel, Context: ctx, Timeout: *timeoutFlag, Resilient: *resilient,
-		BDDNodeLimit: *nodeLimit, Parallelism: *parallel}
+		BDDNodeLimit: *nodeLimit, Parallelism: *parallel, Workers: *workers}
 	if *progress && !*quiet {
 		opts.Progress = sre.StderrProgress()
 	}
@@ -175,6 +203,14 @@ func main() {
 		defer v.Release()
 		printOutcomes(v.Outcomes())
 		exitCode = runQuery(v, cmd, rest)
+		// Exit 3 attributes worker crashes on otherwise-successful runs;
+		// a real failure (nonzero exitCode) takes precedence.
+		if exitCode == 0 && v.CrashDegraded() {
+			if !*quiet {
+				fmt.Fprintln(os.Stderr, "sre: run degraded by worker crashes; results are exact (in-process fallback); exit 3")
+			}
+			exitCode = 3
+		}
 	}
 	finish(v, tel, start)
 	writeExports(rec)

@@ -586,10 +586,13 @@ func (p *Pipeline) PairReachable(src topology.RouterID, pfx route.Prefix, k int)
 }
 
 // Release frees the BDD references held by the pipeline's PFECs and
-// forwarder.
+// forwarder. Decoded pipelines (NewDecodedPipeline) have no forwarder;
+// their references live entirely in the PFEC predicates.
 func (p *Pipeline) Release() {
 	for _, l := range p.pfecs {
 		spf.ReleasePFECs(p.Sp, l)
 	}
-	p.Fw.Release()
+	if p.Fw != nil {
+		p.Fw.Release()
+	}
 }

@@ -19,6 +19,12 @@ const (
 	RungAbstract     = "abstract"      // enable AS-path abstraction (§7.3)
 	RungHalveBudget  = "halve-budget"  // halve the failure budget (PruneK)
 	RungSplitHeaders = "split-headers" // split the prefix's header space
+	// RungWorkerCrash marks a prefix whose worker subprocess crashed,
+	// stalled, or corrupted its result stream repeatedly in a
+	// multi-process run, forcing a quarantined in-process fallback (see
+	// internal/coord). It is a degradation reason, not a retry knob: the
+	// fallback verifies with the originally requested options.
+	RungWorkerCrash = "worker-crash"
 )
 
 // PrefixOutcome reports how one prefix of a partitioned run fared.
@@ -38,6 +44,10 @@ type PrefixOutcome struct {
 	// verified with; it differs from the requested budget only after
 	// the halve-budget rung.
 	EffectivePruneK int
+	// WorkerCrashes counts failed worker attempts (crash, stall,
+	// corrupt frame) this prefix survived in a multi-process run before
+	// converging — 0 for in-process runs and clean worker runs.
+	WorkerCrashes int
 }
 
 // Partitioned is the result of a resilient multi-prefix run: one or

@@ -1,0 +1,565 @@
+package coord
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"sync"
+	"time"
+
+	"sre/internal/analysis"
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/resil"
+	"sre/internal/route"
+	"sre/internal/src"
+)
+
+// Options configures a multi-process run.
+type Options struct {
+	// Workers is the number of worker subprocesses. Values < 1 mean 1.
+	Workers int
+	// Exe is the worker binary; empty means the current executable
+	// (os.Executable), re-exec'ed with Args.
+	Exe string
+	// Args is the worker argv (after the binary); empty means
+	// ["worker"], the `sre worker` subcommand.
+	Args []string
+	// Verify carries the verification options. Telemetry and Interrupt
+	// stay coordinator-side: workers get the transportable subset, run
+	// fresh per-task registries whose wire shards merge back here, and
+	// are killed (not signaled) on cancellation.
+	Verify src.Options
+	// Resilient enables the escalation ladder inside workers and the
+	// in-process resilient fallback for quarantined prefixes. Without
+	// it, a prefix whose verification fails aborts the run — but worker
+	// crashes are still retried: crash tolerance is not degradation.
+	Resilient bool
+	// Ladder tunes the workers' escalation ladder.
+	Ladder analysis.LadderOptions
+	// TaskTimeout bounds one task attempt's wall clock; on expiry the
+	// worker is killed and the attempt counts as a crash. Zero disables
+	// the per-task deadline (heartbeats still catch wedged workers).
+	TaskTimeout time.Duration
+	// HeartbeatInterval is how often workers prove liveness (default
+	// 250ms); HeartbeatGrace is how long the coordinator waits past the
+	// last sign of life before declaring a worker wedged (default 8×
+	// the interval).
+	HeartbeatInterval time.Duration
+	HeartbeatGrace    time.Duration
+	// MaxAttempts is how many worker attempts a prefix gets before it
+	// is quarantined to the in-process fallback (default 3).
+	MaxAttempts int
+	// RetryBackoff is the base delay before a failed task is
+	// redispatched, doubling per attempt (default 50ms).
+	RetryBackoff time.Duration
+	// MaxRespawns bounds how many replacement processes one worker slot
+	// gets (default MaxAttempts). When every slot is dead and
+	// unrespawnable, remaining prefixes quarantine.
+	MaxRespawns int
+	// FaultPlan injects deterministic worker faults for testing (see
+	// ParseFaultPlan); empty falls back to the SRE_FAULT environment
+	// variable. The plan is forwarded to workers via their environment.
+	FaultPlan string
+}
+
+func (o *Options) defaults() {
+	if o.Workers < 1 {
+		o.Workers = 1
+	}
+	if o.HeartbeatInterval <= 0 {
+		o.HeartbeatInterval = defaultHeartbeat
+	}
+	if o.HeartbeatGrace <= 0 {
+		o.HeartbeatGrace = 8 * o.HeartbeatInterval
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 50 * time.Millisecond
+	}
+	if o.MaxRespawns <= 0 {
+		o.MaxRespawns = o.MaxAttempts
+	}
+	if len(o.Args) == 0 {
+		o.Args = []string{"worker"}
+	}
+}
+
+// taskState tracks one prefix task through dispatch, retries, and
+// quarantine.
+type taskState struct {
+	seq         int
+	pfx         route.Prefix
+	attempt     int // next attempt number (= failed attempts so far)
+	notBefore   time.Time
+	done        bool
+	quarantined bool
+	outcome     analysis.PrefixOutcome
+	pipes       []*analysis.Pipeline
+	started     time.Time
+}
+
+// workerProc is one live worker subprocess.
+type workerProc struct {
+	slot     int
+	cmd      *exec.Cmd
+	stdin    *frameWriter
+	closer   func() error // closes the stdin pipe
+	ready    bool
+	task     *taskState
+	lastSeen time.Time
+	dead     bool
+}
+
+func (w *workerProc) kill() {
+	if w.cmd != nil && w.cmd.Process != nil {
+		_ = w.cmd.Process.Kill()
+	}
+}
+
+// event is one reader-goroutine message: a frame, or a terminal read
+// error (EOF/decode failure = the worker is gone or babbling).
+type event struct {
+	w   *workerProc
+	f   *frame
+	err error
+}
+
+// Run verifies prefixes across opts.Workers subprocesses and returns a
+// Partitioned indistinguishable from an in-process Options.Parallelism
+// run: workers execute the identical per-prefix task chains, results
+// are assembled in canonical prefix order, and telemetry shards merge
+// exactly as Telemetry.Merge does in-process. Worker failures (crash,
+// stall, corrupt frames, nonzero exit) are retried with backoff up to
+// opts.MaxAttempts; prefixes that keep failing fall back to in-process
+// execution, surfacing as quarantined outcomes carrying
+// analysis.RungWorkerCrash. Only a verification error — cancellation,
+// deadline, non-convergence, an exhausted non-resilient overflow —
+// aborts the run.
+func Run(net *config.Network, prefixes []route.Prefix, opts Options) (*analysis.Partitioned, error) {
+	opts.defaults()
+	if len(prefixes) == 0 {
+		return nil, fmt.Errorf("coord: multi-process run needs at least one prefix")
+	}
+	planText := opts.FaultPlan
+	if planText == "" {
+		planText = os.Getenv(FaultEnv)
+	}
+	if _, err := ParseFaultPlan(planText); err != nil {
+		return nil, err
+	}
+	exe := opts.Exe
+	if exe == "" {
+		self, err := os.Executable()
+		if err != nil {
+			return nil, fmt.Errorf("coord: resolving worker binary: %w", err)
+		}
+		exe = self
+	}
+
+	c := &coordinator{
+		net:      net,
+		opts:     opts,
+		exe:      exe,
+		plan:     planText,
+		tel:      opts.Verify.Telemetry,
+		events:   make(chan event, 16),
+		done:     make(chan struct{}),
+		respawns: make([]int, opts.Workers),
+		netText:  config.Format(net),
+	}
+	defer c.teardown()
+	return c.run(prefixes)
+}
+
+type coordinator struct {
+	net     *config.Network
+	opts    Options
+	exe     string
+	plan    string
+	netText string
+	tel     *obs.Telemetry
+
+	tasks    []*taskState
+	workers  []*workerProc
+	events   chan event
+	done     chan struct{} // closed at teardown: readers stop posting
+	wg       sync.WaitGroup
+	respawns []int
+	closed   bool
+}
+
+// teardown kills every worker, releases the readers, and reaps the
+// children. Safe to call after both normal completion and aborts.
+func (c *coordinator) teardown() {
+	if !c.closed {
+		c.closed = true
+		close(c.done)
+	}
+	for _, w := range c.workers {
+		if w != nil {
+			w.kill()
+		}
+	}
+	c.wg.Wait()
+}
+
+func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error) {
+	// Task order: cost-aware LPT, exactly the order prefixRunner seeds
+	// its pool queues with — the most expensive prefixes dispatch first,
+	// and fault plans keyed by Seq hit the same prefixes every run.
+	seen := make(map[route.Prefix]bool, len(prefixes))
+	for _, pfx := range prefixes {
+		if seen[pfx] {
+			continue
+		}
+		seen[pfx] = true
+		c.tasks = append(c.tasks, &taskState{pfx: pfx})
+	}
+	sort.SliceStable(c.tasks, func(i, j int) bool {
+		return analysis.PrefixCost(c.net, c.tasks[i].pfx) > analysis.PrefixCost(c.net, c.tasks[j].pfx)
+	})
+	for i, t := range c.tasks {
+		t.seq = i
+	}
+
+	c.workers = make([]*workerProc, c.opts.Workers)
+	for slot := 0; slot < c.opts.Workers; slot++ {
+		c.spawn(slot, false)
+	}
+
+	// Supervision cadence: fast enough to catch heartbeat loss promptly,
+	// slow enough to stay invisible in profiles.
+	tickEvery := c.opts.HeartbeatInterval / 2
+	if tickEvery < 5*time.Millisecond {
+		tickEvery = 5 * time.Millisecond
+	}
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+
+	for !c.allDone() {
+		c.assign()
+		if c.noWorkersLeft() {
+			c.quarantineRemaining("no workers left")
+			break
+		}
+		select {
+		case ev := <-c.events:
+			if ev.w.dead {
+				continue // already handled (we killed it)
+			}
+			if ev.err != nil {
+				c.workerDied(ev.w, "crash")
+				continue
+			}
+			if err := c.handleFrame(ev.w, ev.f); err != nil {
+				c.releaseAll()
+				return nil, err
+			}
+		case <-tick.C:
+			if hook := c.opts.Verify.Interrupt; hook != nil {
+				if ierr := hook(); ierr != nil {
+					c.releaseAll()
+					return nil, resil.Stage("coord", ierr)
+				}
+			}
+			c.supervise()
+		}
+	}
+	c.shutdownWorkers()
+
+	// Quarantine fallback: prefixes whose workers kept dying run
+	// in-process through the same task chain (with the ladder when
+	// resilient), under the coordinator's own telemetry and interrupt.
+	for _, t := range c.tasks {
+		if !t.quarantined {
+			continue
+		}
+		crashes := t.attempt
+		pipes, out, err := analysis.RunPrefixTask(c.net, c.opts.Verify, t.pfx, c.opts.Resilient, c.opts.Ladder)
+		if err != nil {
+			c.releaseAll()
+			return nil, err
+		}
+		out.WorkerCrashes = crashes
+		out.Quarantined = true
+		out.Degraded = true
+		out.Rungs = append([]string{analysis.RungWorkerCrash}, out.Rungs...)
+		t.outcome, t.pipes, t.done = out, pipes, true
+	}
+
+	outs := make([]analysis.PrefixOutcome, 0, len(c.tasks))
+	byPrefix := make(map[route.Prefix][]*analysis.Pipeline, len(c.tasks))
+	for _, t := range c.tasks {
+		outs = append(outs, t.outcome)
+		byPrefix[t.pfx] = t.pipes
+	}
+	return analysis.NewPartitioned(outs, byPrefix), nil
+}
+
+// spawn launches a worker into slot. Failures to even start count
+// against the slot's respawn budget; a slot that cannot start stays
+// dead and its work flows to the other slots or to quarantine.
+func (c *coordinator) spawn(slot int, respawn bool) {
+	cmd := exec.Command(c.exe, c.opts.Args...)
+	cmd.Env = append(os.Environ(), FaultEnv+"="+c.plan, "SRE_COORD_WORKER=1")
+	cmd.Stderr = os.Stderr
+	stdin, err := cmd.StdinPipe()
+	if err != nil {
+		c.workers[slot] = nil
+		return
+	}
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		c.workers[slot] = nil
+		return
+	}
+	if err := cmd.Start(); err != nil {
+		c.workers[slot] = nil
+		return
+	}
+	w := &workerProc{slot: slot, cmd: cmd,
+		stdin: &frameWriter{w: stdin}, closer: stdin.Close, lastSeen: time.Now()}
+	c.workers[slot] = w
+	c.record(time.Time{}, obs.TraceEvent{Stage: "coord.spawn", Count: int64(slot),
+		Outcome: map[bool]string{false: "ok", true: "respawn"}[respawn]})
+
+	// The init frame can be large (the whole network text); write it off
+	// the event loop so a worker that dies at startup cannot block us.
+	init := &frame{Type: frameInit, Init: &initMsg{Network: c.netText,
+		Opts: optionsToWire(c.opts.Verify, c.opts.Resilient, c.opts.Ladder, c.opts.HeartbeatInterval)}}
+	go func() { _ = w.stdin.write(init) }()
+
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			f, rerr := readFrame(stdout)
+			ev := event{w: w, f: f, err: rerr}
+			select {
+			case c.events <- ev:
+			case <-c.done:
+				_ = cmd.Wait()
+				return
+			}
+			if rerr != nil {
+				_ = cmd.Wait() // reap; exit status is immaterial — EOF said enough
+				return
+			}
+		}
+	}()
+}
+
+// handleFrame processes one worker frame. A returned error aborts the
+// whole run (worker-reported verification errors, matching the
+// in-process first-error-abort contract).
+func (c *coordinator) handleFrame(w *workerProc, f *frame) error {
+	w.lastSeen = time.Now()
+	switch f.Type {
+	case frameHello:
+		w.ready = true
+	case frameHeartbeat:
+	case frameError:
+		return f.Err.toError()
+	case frameResult:
+		if f.Result == nil {
+			c.workerDied(w, "bad result frame")
+			return nil
+		}
+		t := w.task
+		if t == nil || t.done || f.Result.Seq != t.seq {
+			return nil // stale result from an attempt we already wrote off
+		}
+		pipes, derr := decodePipelines(c.net, c.opts.Verify, f.Result.Pipes, c.tel)
+		if derr != nil {
+			if !recoverableDecode(derr) {
+				return derr
+			}
+			// A corrupt or overflowing result is a failed attempt: the
+			// worker is suspect, kill and retry elsewhere.
+			c.workerDied(w, "undecodable result")
+			return nil
+		}
+		out := outcomeFromWire(t.pfx, f.Result.Outcome)
+		out.WorkerCrashes = t.attempt
+		t.outcome, t.pipes, t.done = out, pipes, true
+		w.task = nil
+		c.tel.Merge(f.Result.Telemetry.Import())
+		c.record(t.started, obs.TraceEvent{Stage: "coord.task", Prefix: t.pfx.String(),
+			Wall: time.Since(t.started).Nanoseconds(), Count: int64(t.attempt), Outcome: "ok"})
+	}
+	return nil
+}
+
+// recoverableDecode reports whether a decode failure should count as a
+// retryable worker fault. Interruptions propagate as aborts.
+func recoverableDecode(err error) bool {
+	return !resil.Interruption(err)
+}
+
+// workerDied handles any worker loss — process exit, read error,
+// heartbeat loss, task deadline. The inflight task (if any) is retried
+// or quarantined, and the slot respawns within its budget.
+func (c *coordinator) workerDied(w *workerProc, reason string) {
+	if w.dead {
+		return
+	}
+	w.dead = true
+	w.kill()
+	pfx := ""
+	if w.task != nil {
+		pfx = w.task.pfx.String()
+	}
+	c.record(time.Time{}, obs.TraceEvent{Stage: "coord.crash", Prefix: pfx,
+		Count: int64(w.slot), Outcome: reason})
+	if t := w.task; t != nil {
+		w.task = nil
+		t.attempt++
+		if t.attempt >= c.opts.MaxAttempts {
+			t.quarantined = true
+			c.record(time.Time{}, obs.TraceEvent{Stage: "coord.quarantine",
+				Prefix: t.pfx.String(), Count: int64(t.attempt), Outcome: reason})
+		} else {
+			backoff := c.opts.RetryBackoff << uint(t.attempt-1)
+			t.notBefore = time.Now().Add(backoff)
+			c.record(time.Time{}, obs.TraceEvent{Stage: "coord.retry",
+				Prefix: t.pfx.String(), Count: int64(t.attempt), Outcome: reason})
+		}
+	}
+	if c.respawns[w.slot] < c.opts.MaxRespawns {
+		c.respawns[w.slot]++
+		c.spawn(w.slot, true)
+	} else {
+		c.workers[w.slot] = nil
+	}
+}
+
+// assign hands pending tasks to idle ready workers, in task order,
+// honoring retry backoff.
+func (c *coordinator) assign() {
+	now := time.Now()
+	for _, w := range c.workers {
+		if w == nil || w.dead || !w.ready || w.task != nil {
+			continue
+		}
+		t := c.nextTask(now)
+		if t == nil {
+			return
+		}
+		t.started = now
+		w.task = t
+		msg := &frame{Type: frameTask, Task: &taskMsg{Seq: t.seq, Attempt: t.attempt, Prefix: t.pfx.String()}}
+		if err := w.stdin.write(msg); err != nil {
+			c.workerDied(w, "write failed")
+		}
+	}
+}
+
+// nextTask returns the first dispatchable task: not finished, not
+// quarantined, not inflight, past its retry backoff.
+func (c *coordinator) nextTask(now time.Time) *taskState {
+	for _, t := range c.tasks {
+		if t.done || t.quarantined || t.notBefore.After(now) {
+			continue
+		}
+		if c.inflight(t) {
+			continue
+		}
+		return t
+	}
+	return nil
+}
+
+func (c *coordinator) inflight(t *taskState) bool {
+	for _, w := range c.workers {
+		if w != nil && !w.dead && w.task == t {
+			return true
+		}
+	}
+	return false
+}
+
+// supervise enforces heartbeat grace and per-task deadlines.
+func (c *coordinator) supervise() {
+	now := time.Now()
+	for _, w := range c.workers {
+		if w == nil || w.dead {
+			continue
+		}
+		if now.Sub(w.lastSeen) > c.opts.HeartbeatGrace {
+			c.workerDied(w, "heartbeat loss")
+			continue
+		}
+		if c.opts.TaskTimeout > 0 && w.task != nil && now.Sub(w.task.started) > c.opts.TaskTimeout {
+			c.workerDied(w, "task deadline")
+		}
+	}
+}
+
+func (c *coordinator) allDone() bool {
+	for _, t := range c.tasks {
+		if !t.done && !t.quarantined {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *coordinator) noWorkersLeft() bool {
+	for _, w := range c.workers {
+		if w != nil && !w.dead {
+			return false
+		}
+	}
+	return true
+}
+
+// quarantineRemaining marks every unfinished task quarantined (used
+// when the worker fleet is unrecoverable).
+func (c *coordinator) quarantineRemaining(reason string) {
+	for _, t := range c.tasks {
+		if t.done || t.quarantined {
+			continue
+		}
+		t.quarantined = true
+		if t.attempt == 0 {
+			t.attempt = 1 // at least the fleet loss counts as one failure
+		}
+		c.record(time.Time{}, obs.TraceEvent{Stage: "coord.quarantine",
+			Prefix: t.pfx.String(), Count: int64(t.attempt), Outcome: reason})
+	}
+}
+
+// shutdownWorkers asks live workers to exit and closes their pipes;
+// teardown reaps whatever ignores the request.
+func (c *coordinator) shutdownWorkers() {
+	for _, w := range c.workers {
+		if w == nil || w.dead {
+			continue
+		}
+		_ = w.stdin.write(&frame{Type: frameShutdown})
+		_ = w.closer()
+	}
+}
+
+// releaseAll frees every decoded pipeline on the abort path.
+func (c *coordinator) releaseAll() {
+	for _, t := range c.tasks {
+		for _, p := range t.pipes {
+			p.Release()
+		}
+		t.pipes = nil
+	}
+}
+
+// record captures one coordinator flight-recorder event; Count carries
+// the worker slot or attempt (see each call site's stage).
+func (c *coordinator) record(start time.Time, e obs.TraceEvent) {
+	if !c.tel.Recording() {
+		return
+	}
+	c.tel.Record(start, e)
+}

@@ -1,0 +1,387 @@
+package coord
+
+// The coordinator tests re-exec the test binary as the worker: spawn
+// sets SRE_COORD_WORKER=1 in the child environment, and TestMain
+// diverts such processes straight into WorkerMain before the testing
+// framework parses anything. Fault plans then drive every supervision
+// path deterministically.
+
+import (
+	"fmt"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	"sre/internal/analysis"
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/route"
+	"sre/internal/src"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("SRE_COORD_WORKER") == "1" {
+		os.Exit(WorkerMain(os.Stdin, os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}
+
+// testNet is a 4-router BGP ring with a chord; every router originates
+// one prefix, giving four small independent tasks.
+const testNetText = `
+topology
+  router A
+  router B
+  router C
+  router D
+  link A B
+  link B C
+  link C D
+  link D A
+  link A C
+end
+router A
+  bgp 65001
+    network 10.0.0.0/8
+end
+router B
+  bgp 65002
+    network 20.0.0.0/8
+end
+router C
+  bgp 65003
+    network 30.0.0.0/8
+end
+router D
+  bgp 65004
+    network 40.0.0.0/8
+end
+`
+
+func testNet(t *testing.T) (*config.Network, []route.Prefix) {
+	t.Helper()
+	net, err := config.ParseString(testNetText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, net.AllPrefixes()
+}
+
+func testOpts() src.Options {
+	return src.Options{PruneK: 2, Parallelism: 1}
+}
+
+// sweep condenses a Partitioned into per-prefix reachability tolerances
+// from router 0 — the query-level fingerprint determinism tests compare.
+func sweep(t *testing.T, part *analysis.Partitioned) map[string]int {
+	t.Helper()
+	res := map[string]int{}
+	for _, o := range part.Outcomes() {
+		if o.Err != nil {
+			res[o.Prefix.String()] = -1000
+			continue
+		}
+		k := analysis.InfiniteTolerance
+		for _, pipe := range part.PipelinesFor(o.Prefix) {
+			hdr := pipe.OwnedHeaders(o.Prefix)
+			prop := pipe.ReachBDD(0, pipe.OriginSet(o.Prefix), hdr)
+			if tol := pipe.MinTolerance(prop, hdr); tol < k {
+				k = tol
+			}
+		}
+		res[o.Prefix.String()] = k
+	}
+	return res
+}
+
+// normalize strips the crash bookkeeping a faulty multi-process run is
+// allowed to differ in: WorkerCrashes, and — for prefixes that fell
+// back in-process — the quarantine markers and the worker-crash rung.
+// Everything else (errors, real degradation rungs, budgets) must match
+// the in-process baseline exactly.
+func normalize(outs []analysis.PrefixOutcome) []analysis.PrefixOutcome {
+	norm := make([]analysis.PrefixOutcome, len(outs))
+	for i, o := range outs {
+		o.WorkerCrashes = 0
+		if len(o.Rungs) > 0 && o.Rungs[0] == analysis.RungWorkerCrash {
+			o.Rungs = o.Rungs[1:]
+			o.Quarantined = false
+			o.Degraded = len(o.Rungs) > 0
+		}
+		if len(o.Rungs) == 0 {
+			o.Rungs = nil
+		}
+		norm[i] = o
+	}
+	return norm
+}
+
+func coordRun(t *testing.T, net *config.Network, prefixes []route.Prefix, opts Options) *analysis.Partitioned {
+	t.Helper()
+	part, err := Run(net, prefixes, opts)
+	if err != nil {
+		t.Fatalf("coord.Run: %v", err)
+	}
+	return part
+}
+
+// TestCoordMatchesInProcess pins the tentpole contract: a fault-free
+// multi-process run at 1, 2, and 4 workers returns outcomes and query
+// results identical to the in-process sequential baseline.
+func TestCoordMatchesInProcess(t *testing.T) {
+	net, prefixes := testNet(t)
+	base, err := analysis.RunPartitioned(net, testOpts(), prefixes, analysis.LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+	baseOuts, baseSweep := base.Outcomes(), sweep(t, base)
+	if len(baseOuts) != 4 {
+		t.Fatalf("baseline has %d outcomes, want 4", len(baseOuts))
+	}
+
+	for _, w := range []int{1, 2, 4} {
+		w := w
+		t.Run(fmt.Sprintf("workers=%d", w), func(t *testing.T) {
+			part := coordRun(t, net, prefixes, Options{Workers: w, Verify: testOpts(), Resilient: true})
+			defer part.Release()
+			if got := part.Outcomes(); !reflect.DeepEqual(got, baseOuts) {
+				t.Errorf("outcomes diverge\n got %+v\nwant %+v", got, baseOuts)
+			}
+			if got := sweep(t, part); !reflect.DeepEqual(got, baseSweep) {
+				t.Errorf("tolerance sweep diverges\n got %v\nwant %v", got, baseSweep)
+			}
+		})
+	}
+}
+
+// TestCoordRetryConverges injects one fault of each recoverable flavor
+// across distinct tasks; every retried attempt is fault-free, so the
+// run must converge to the baseline results with only WorkerCrashes
+// attesting to the turbulence.
+func TestCoordRetryConverges(t *testing.T) {
+	net, prefixes := testNet(t)
+	base, err := analysis.RunPartitioned(net, testOpts(), prefixes, analysis.LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+
+	part := coordRun(t, net, prefixes, Options{
+		Workers:   2,
+		Verify:    testOpts(),
+		Resilient: true,
+		FaultPlan: "crash@0;corrupt@1;exit@2",
+	})
+	defer part.Release()
+
+	if got, want := normalize(part.Outcomes()), normalize(base.Outcomes()); !reflect.DeepEqual(got, want) {
+		t.Errorf("normalized outcomes diverge\n got %+v\nwant %+v", got, want)
+	}
+	if got, want := sweep(t, part), sweep(t, base); !reflect.DeepEqual(got, want) {
+		t.Errorf("tolerance sweep diverges\n got %v\nwant %v", got, want)
+	}
+	crashed := 0
+	for _, o := range part.Outcomes() {
+		crashed += o.WorkerCrashes
+	}
+	if crashed < 3 {
+		t.Errorf("total WorkerCrashes = %d, want >= 3 (one per injected fault)", crashed)
+	}
+}
+
+// TestCoordStallDetected wedges a worker (muted heartbeats, hung task):
+// the coordinator must notice via heartbeat grace, kill it, retry, and
+// converge.
+func TestCoordStallDetected(t *testing.T) {
+	net, prefixes := testNet(t)
+	part := coordRun(t, net, prefixes, Options{
+		Workers:           2,
+		Verify:            testOpts(),
+		Resilient:         true,
+		HeartbeatInterval: 10 * time.Millisecond, // grace defaults to 8x = 80ms
+		FaultPlan:         "stall@0",
+	})
+	defer part.Release()
+	stalled := 0
+	for _, o := range part.Outcomes() {
+		if o.Err != nil {
+			t.Errorf("prefix %s failed: %v", o.Prefix, o.Err)
+		}
+		stalled += o.WorkerCrashes
+	}
+	if stalled == 0 {
+		t.Error("no outcome records the stalled attempt")
+	}
+}
+
+// TestCoordTaskDeadline isolates the per-task deadline: the heartbeat
+// grace is parked far away, so only TaskTimeout can catch the hung
+// task.
+func TestCoordTaskDeadline(t *testing.T) {
+	net, prefixes := testNet(t)
+	part := coordRun(t, net, prefixes, Options{
+		Workers:           2,
+		Verify:            testOpts(),
+		Resilient:         true,
+		HeartbeatInterval: 20 * time.Millisecond,
+		HeartbeatGrace:    10 * time.Minute,
+		TaskTimeout:       300 * time.Millisecond,
+		FaultPlan:         "stall@1",
+	})
+	defer part.Release()
+	for _, o := range part.Outcomes() {
+		if o.Err != nil {
+			t.Errorf("prefix %s failed: %v", o.Prefix, o.Err)
+		}
+	}
+}
+
+// TestCoordQuarantineFallback crashes one task on every allowed attempt:
+// after MaxAttempts the prefix must fall back to exact in-process
+// verification, marked with the worker-crash rung, while its query
+// results still match the baseline.
+func TestCoordQuarantineFallback(t *testing.T) {
+	net, prefixes := testNet(t)
+	base, err := analysis.RunPartitioned(net, testOpts(), prefixes, analysis.LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+
+	part := coordRun(t, net, prefixes, Options{
+		Workers:     2,
+		Verify:      testOpts(),
+		Resilient:   true,
+		MaxAttempts: 3,
+		FaultPlan:   "crash@0;crash@0#1;crash@0#2",
+	})
+	defer part.Release()
+
+	quarantined := 0
+	for _, o := range part.Outcomes() {
+		if o.Err != nil {
+			t.Errorf("prefix %s failed: %v", o.Prefix, o.Err)
+		}
+		if len(o.Rungs) > 0 && o.Rungs[0] == analysis.RungWorkerCrash {
+			quarantined++
+			if !o.Quarantined || !o.Degraded {
+				t.Errorf("crash-quarantined prefix %s: Quarantined=%v Degraded=%v, want both true", o.Prefix, o.Quarantined, o.Degraded)
+			}
+			if o.WorkerCrashes != 3 {
+				t.Errorf("crash-quarantined prefix %s: WorkerCrashes=%d, want 3", o.Prefix, o.WorkerCrashes)
+			}
+		}
+	}
+	if quarantined != 1 {
+		t.Errorf("%d prefixes carry the worker-crash rung, want exactly 1", quarantined)
+	}
+	// The fallback verified with the original options: results are exact.
+	if got, want := sweep(t, part), sweep(t, base); !reflect.DeepEqual(got, want) {
+		t.Errorf("tolerance sweep diverges after quarantine fallback\n got %v\nwant %v", got, want)
+	}
+}
+
+// TestCoordKillNeverFailsResilient is the issue's acceptance bullet: a
+// worker SIGKILLed mid-task (no exit handlers, no flushed buffers) must
+// never fail a resilient run.
+func TestCoordKillNeverFailsResilient(t *testing.T) {
+	net, prefixes := testNet(t)
+	part := coordRun(t, net, prefixes, Options{
+		Workers:   2,
+		Verify:    testOpts(),
+		Resilient: true,
+		FaultPlan: "kill@0",
+	})
+	defer part.Release()
+	outs := part.Outcomes()
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(outs))
+	}
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("prefix %s failed after SIGKILL retry: %v", o.Prefix, o.Err)
+		}
+	}
+}
+
+// TestCoordFleetLoss exhausts one slot's respawn budget on a
+// single-worker fleet: with no workers left, every unfinished prefix
+// must quarantine to the in-process fallback and the run still
+// completes.
+func TestCoordFleetLoss(t *testing.T) {
+	net, prefixes := testNet(t)
+	part := coordRun(t, net, prefixes, Options{
+		Workers:     1,
+		Verify:      testOpts(),
+		Resilient:   true,
+		MaxAttempts: 10, // never quarantine via attempts — only via fleet loss
+		MaxRespawns: 2,
+		FaultPlan:   "crash@0;crash@0#1;crash@0#2;crash@0#3",
+	})
+	defer part.Release()
+	outs := part.Outcomes()
+	if len(outs) != 4 {
+		t.Fatalf("got %d outcomes, want 4", len(outs))
+	}
+	sawCrashRung := false
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Errorf("prefix %s failed: %v", o.Prefix, o.Err)
+		}
+		if len(o.Rungs) > 0 && o.Rungs[0] == analysis.RungWorkerCrash {
+			sawCrashRung = true
+		}
+	}
+	if !sawCrashRung {
+		t.Error("fleet loss left no worker-crash rung on any outcome")
+	}
+}
+
+// TestCoordTelemetryMerges checks the worker telemetry shards land in
+// the coordinator registry: a multi-process run must report the same
+// class of BDD work a sequential run does.
+func TestCoordTelemetryMerges(t *testing.T) {
+	net, prefixes := testNet(t)
+	tel := obs.New()
+	opts := testOpts()
+	opts.Telemetry = tel
+	part := coordRun(t, net, prefixes, Options{Workers: 2, Verify: opts, Resilient: true})
+	defer part.Release()
+	rep := tel.Snapshot()
+	if rep.Counters["bdd.cache_misses"] == 0 {
+		t.Error("no bdd.cache_misses merged back from workers")
+	}
+}
+
+func TestParseFaultPlan(t *testing.T) {
+	good := []string{"", "crash@0", "kill@3#2", "crash@0;stall@2;corrupt@3#1", " exit@1 ; crash@2 "}
+	for _, s := range good {
+		if _, err := ParseFaultPlan(s); err != nil {
+			t.Errorf("ParseFaultPlan(%q): %v", s, err)
+		}
+	}
+	bad := []string{"crash", "boom@1", "crash@-1", "crash@x", "crash@1#x", "crash@1#-2"}
+	for _, s := range bad {
+		if _, err := ParseFaultPlan(s); err == nil {
+			t.Errorf("ParseFaultPlan(%q) accepted invalid plan", s)
+		}
+	}
+	p, err := ParseFaultPlan("crash@0;stall@2#1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.at(0, 0); got != faultCrash {
+		t.Errorf("at(0,0) = %q, want crash", got)
+	}
+	if got := p.at(2, 1); got != faultStall {
+		t.Errorf("at(2,1) = %q, want stall", got)
+	}
+	if got := p.at(2, 0); got != "" {
+		t.Errorf("at(2,0) = %q, want none", got)
+	}
+	if p.String() != "crash@0;stall@2#1" {
+		t.Errorf("String() = %q", p.String())
+	}
+}

@@ -1,0 +1,125 @@
+package coord
+
+// Deterministic fault injection: a plan names which task attempts fail
+// and how, so the test suite (and a CI smoke run) can drive every
+// supervision path — crash detection, heartbeat loss, corrupt frames,
+// nonzero exits, retries, quarantine — with reproducible runs.
+//
+// Plan syntax: ';'-separated entries of the form
+//
+//	kind@taskSeq[#attempt]
+//
+// where kind is one of crash, kill, stall, corrupt, exit; taskSeq is
+// the task's index in the coordinator's cost-ordered dispatch sequence
+// (stable across runs); attempt selects which attempt faults (default
+// 0, so a retried task converges). Example:
+//
+//	SRE_FAULT='crash@0;stall@2;corrupt@3#1'
+//
+// Kinds:
+//
+//	crash   — exit immediately with status 137, before any result byte
+//	kill    — SIGKILL self: no exit handlers, no flushes (unix only;
+//	          falls back to crash elsewhere)
+//	stall   — stop heartbeating and hang; the coordinator detects
+//	          heartbeat loss and kills the worker
+//	corrupt — emit a well-framed garbage payload, then exit 1; the
+//	          coordinator sees a decode failure
+//	exit    — exit with status 3 without a result (a worker that died
+//	          politely)
+//
+// The plan travels coordinator → worker via the SRE_FAULT environment
+// variable; Options.FaultPlan takes precedence over an inherited one.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultEnv is the environment variable carrying the fault plan.
+const FaultEnv = "SRE_FAULT"
+
+const (
+	faultCrash   = "crash"
+	faultKill    = "kill"
+	faultStall   = "stall"
+	faultCorrupt = "corrupt"
+	faultExit    = "exit"
+)
+
+type faultEntry struct {
+	kind    string
+	seq     int
+	attempt int
+}
+
+// FaultPlan is a parsed fault-injection plan. The zero value (and nil)
+// injects nothing.
+type FaultPlan struct {
+	entries []faultEntry
+	text    string
+}
+
+// ParseFaultPlan parses the plan syntax above. An empty string is the
+// empty plan (nil).
+func ParseFaultPlan(s string) (*FaultPlan, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	p := &FaultPlan{text: s}
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(part, "@")
+		if !ok {
+			return nil, fmt.Errorf("coord: fault entry %q missing @taskSeq", part)
+		}
+		switch kind {
+		case faultCrash, faultKill, faultStall, faultCorrupt, faultExit:
+		default:
+			return nil, fmt.Errorf("coord: unknown fault kind %q (want crash, kill, stall, corrupt, or exit)", kind)
+		}
+		seqStr, attemptStr, hasAttempt := strings.Cut(rest, "#")
+		seq, err := strconv.Atoi(seqStr)
+		if err != nil || seq < 0 {
+			return nil, fmt.Errorf("coord: fault entry %q has bad task index", part)
+		}
+		attempt := 0
+		if hasAttempt {
+			attempt, err = strconv.Atoi(attemptStr)
+			if err != nil || attempt < 0 {
+				return nil, fmt.Errorf("coord: fault entry %q has bad attempt", part)
+			}
+		}
+		p.entries = append(p.entries, faultEntry{kind: kind, seq: seq, attempt: attempt})
+	}
+	if len(p.entries) == 0 {
+		return nil, nil
+	}
+	return p, nil
+}
+
+// String renders the plan back into its source syntax.
+func (p *FaultPlan) String() string {
+	if p == nil {
+		return ""
+	}
+	return p.text
+}
+
+// at returns the fault kind to inject for (task seq, attempt), or "".
+func (p *FaultPlan) at(seq, attempt int) string {
+	if p == nil {
+		return ""
+	}
+	for _, e := range p.entries {
+		if e.seq == seq && e.attempt == attempt {
+			return e.kind
+		}
+	}
+	return ""
+}

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package coord
+
+import "os"
+
+// killSelf approximates SIGKILL on platforms without it: an immediate
+// exit with the conventional killed status.
+func killSelf() { os.Exit(137) }

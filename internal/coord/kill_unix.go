@@ -1,0 +1,18 @@
+//go:build unix
+
+package coord
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf delivers SIGKILL to the current process: no deferred
+// functions, no buffered writes, no exit status negotiation — the
+// closest reproducible stand-in for an OOM kill. Used only by the
+// fault-injection "kill" plan entry.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// Unreachable on delivery; belt and braces if the signal is lost.
+	os.Exit(137)
+}

@@ -1,0 +1,282 @@
+// Package coord implements fault-tolerant multi-process verification: a
+// coordinator that partitions the prefix space across N `sre worker`
+// subprocesses and supervises them — per-task deadlines, heartbeats,
+// crash detection (process exit, decode failure, heartbeat loss),
+// bounded retries with exponential backoff and worker respawn, and a
+// poisoned-prefix quarantine that falls back to in-process resilient
+// execution after repeated failures.
+//
+// The process boundary is the robustness boundary: a worker can OOM,
+// panic past a firewall, wedge, or corrupt its output stream, and the
+// run degrades gracefully instead of dying — the same contract the
+// in-process resilient runtime gives for BDD overflows, extended across
+// fork/exec.
+//
+// Workers run exactly the per-prefix task chain an in-process parallel
+// run schedules (analysis.RunPrefixTask over a one-worker pool), so
+// coordinator results are byte-identical to Options.Parallelism runs at
+// any worker count; a golden test pins this at W=1/2/4, including runs
+// where injected faults force retries.
+package coord
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"sre/internal/bdd"
+	"sre/internal/obs"
+	"sre/internal/resil"
+)
+
+// Wire protocol: length-prefixed NDJSON frames over the worker's
+// stdin/stdout pipes. Each frame is a 4-byte little-endian payload
+// length followed by one JSON object terminated by '\n' (the newline is
+// part of the payload, so a pipe captured raw is still line-readable).
+//
+//	coordinator → worker: init, task, shutdown
+//	worker → coordinator: hello, heartbeat, result, error
+//
+// The decoder is total: any byte stream yields a frame or an error,
+// never a panic and never an allocation proportional to a declared
+// length that was not actually received (FuzzDecodeFrame pins this).
+
+// maxFramePayload bounds a frame's declared payload length. Serialized
+// BDDs for one prefix task are megabytes at the extreme; a declared
+// length beyond this is a corrupt stream, not a big result.
+const maxFramePayload = 1 << 30
+
+// Frame type discriminators.
+const (
+	frameInit      = "init"
+	frameTask      = "task"
+	frameShutdown  = "shutdown"
+	frameHello     = "hello"
+	frameHeartbeat = "heartbeat"
+	frameResult    = "result"
+	frameError     = "error"
+)
+
+// frame is the single envelope every message travels in; Type selects
+// which payload pointer is set.
+type frame struct {
+	Type   string      `json:"type"`
+	Init   *initMsg    `json:"init,omitempty"`
+	Task   *taskMsg    `json:"task,omitempty"`
+	Hello  *helloMsg   `json:"hello,omitempty"`
+	Result *taskResult `json:"result,omitempty"`
+	Err    *wireError  `json:"err,omitempty"`
+}
+
+// initMsg configures a worker for the run: the network (the textual
+// config format, a tested fixed point of Parse∘Format) and the
+// verification options that shape results.
+type initMsg struct {
+	Network string      `json:"network"`
+	Opts    wireOptions `json:"opts"`
+}
+
+// wireOptions is the transportable subset of src.Options plus the
+// ladder switches: everything that affects results, nothing that holds
+// process-local state (telemetry, interrupt hooks).
+type wireOptions struct {
+	PruneK               int  `json:"prune_k"`
+	Abstract             bool `json:"abstract,omitempty"`
+	NoECMP               bool `json:"no_ecmp,omitempty"`
+	IBGPFullMesh         bool `json:"ibgp_full_mesh,omitempty"`
+	MaxHops              int  `json:"max_hops,omitempty"`
+	MaxIterations        int  `json:"max_iterations,omitempty"`
+	BDDNodeLimit         int  `json:"bdd_node_limit,omitempty"`
+	LegacyKernel         bool `json:"legacy_kernel,omitempty"`
+	Ladder               bool `json:"ladder,omitempty"`
+	DisableBudgetHalving bool `json:"disable_budget_halving,omitempty"`
+	HeartbeatMS          int  `json:"heartbeat_ms,omitempty"`
+}
+
+// taskMsg assigns one prefix task. Seq is the task's index in the
+// coordinator's cost-ordered dispatch sequence — stable across runs, so
+// fault plans keyed by Seq are deterministic regardless of which worker
+// draws the task. Attempt counts prior failed attempts.
+type taskMsg struct {
+	Seq     int    `json:"seq"`
+	Attempt int    `json:"attempt"`
+	Prefix  string `json:"prefix"`
+}
+
+type helloMsg struct {
+	PID int `json:"pid"`
+}
+
+// taskResult carries one finished prefix back: the outcome, the
+// serialized pipelines, and the worker's per-task telemetry shard.
+type taskResult struct {
+	Seq       int            `json:"seq"`
+	Prefix    string         `json:"prefix"`
+	Outcome   wireOutcome    `json:"outcome"`
+	Pipes     []wirePipeline `json:"pipes,omitempty"`
+	Telemetry *obs.Wire      `json:"telemetry,omitempty"`
+}
+
+// wireOutcome is analysis.PrefixOutcome in transportable form.
+type wireOutcome struct {
+	Err             *wireError `json:"err,omitempty"`
+	Quarantined     bool       `json:"quarantined,omitempty"`
+	Degraded        bool       `json:"degraded,omitempty"`
+	Rungs           []string   `json:"rungs,omitempty"`
+	EffectivePruneK int        `json:"effective_prune_k"`
+}
+
+// wirePipeline is one serialized pipeline: per-source PFEC metadata
+// plus a single bdd.Write blob holding every predicate, roots in
+// (source router, PFEC index) order.
+type wirePipeline struct {
+	Scope    string       `json:"scope,omitempty"`
+	SRCNanos int64        `json:"src_ns"`
+	SPFNanos int64        `json:"spf_ns"`
+	Sources  []wireSource `json:"sources"`
+	BDD      []byte       `json:"bdd"`
+}
+
+type wireSource struct {
+	PFECs []wirePFEC `json:"pfecs,omitempty"`
+}
+
+type wirePFEC struct {
+	Path      []int32 `json:"path"`
+	Delivered bool    `json:"delivered,omitempty"`
+	Looped    bool    `json:"looped,omitempty"`
+}
+
+// Error kinds crossing the wire. Reconstructed errors satisfy errors.Is
+// against the matching sentinel, so exit-code mapping and ladder logic
+// behave identically on both sides of the pipe.
+const (
+	errKindCanceled   = "canceled"
+	errKindDeadline   = "deadline"
+	errKindNoConverge = "noconverge"
+	errKindInternal   = "internal"
+	errKindNodeLimit  = "nodelimit"
+	errKindOther      = "other"
+)
+
+// wireError is an error flattened for transport: its sentinel kind, the
+// pipeline stage it interrupted, and the rendered message.
+type wireError struct {
+	Kind  string `json:"kind"`
+	Stage string `json:"stage,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+func errorToWire(err error) *wireError {
+	if err == nil {
+		return nil
+	}
+	kind := errKindOther
+	switch {
+	case errors.Is(err, resil.ErrCanceled):
+		kind = errKindCanceled
+	case errors.Is(err, resil.ErrDeadline):
+		kind = errKindDeadline
+	case errors.Is(err, resil.ErrNoConvergence):
+		kind = errKindNoConverge
+	case errors.Is(err, resil.ErrInternal):
+		kind = errKindInternal
+	case errors.Is(err, bdd.ErrNodeLimit):
+		kind = errKindNodeLimit
+	}
+	return &wireError{Kind: kind, Stage: resil.StageOf(err), Msg: err.Error()}
+}
+
+// remoteError is a reconstructed worker error: the original message
+// with the sentinel restored underneath so errors.Is keeps working.
+type remoteError struct {
+	msg  string
+	base error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.base }
+
+func (we *wireError) toError() error {
+	if we == nil {
+		return nil
+	}
+	var base error
+	switch we.Kind {
+	case errKindCanceled:
+		base = resil.ErrCanceled
+	case errKindDeadline:
+		base = resil.ErrDeadline
+	case errKindNoConverge:
+		base = resil.ErrNoConvergence
+	case errKindInternal:
+		base = resil.ErrInternal
+	case errKindNodeLimit:
+		base = bdd.ErrNodeLimit
+	}
+	err := error(&remoteError{msg: we.Msg, base: base})
+	if we.Stage != "" {
+		err = &resil.StageError{Stage: we.Stage, Err: err}
+	}
+	return err
+}
+
+// frameWriter serializes frames onto one pipe. The mutex lets the
+// worker's heartbeat goroutine interleave with result writes without
+// tearing frames.
+type frameWriter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (fw *frameWriter) write(f *frame) error {
+	payload, err := json.Marshal(f)
+	if err != nil {
+		return err
+	}
+	payload = append(payload, '\n')
+	fw.mu.Lock()
+	defer fw.mu.Unlock()
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := fw.w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = fw.w.Write(payload)
+	return err
+}
+
+// readFrame decodes one frame from r. It is total over arbitrary byte
+// streams: torn length prefixes, truncated payloads, oversized declared
+// lengths, and invalid JSON all return errors. The payload is read
+// incrementally (never pre-allocated at the declared length), so a
+// hostile length field cannot balloon memory.
+func readFrame(r io.Reader) (*frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > maxFramePayload {
+		return nil, fmt.Errorf("coord: frame length %d out of range", n)
+	}
+	var buf bytes.Buffer
+	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	f := &frame{}
+	if err := json.Unmarshal(buf.Bytes(), f); err != nil {
+		return nil, fmt.Errorf("coord: bad frame: %w", err)
+	}
+	if f.Type == "" {
+		return nil, fmt.Errorf("coord: frame missing type")
+	}
+	return f, nil
+}

@@ -1,0 +1,191 @@
+package coord
+
+// Worker side of the protocol: read init, then loop task → result.
+// Each task runs analysis.RunPrefixTask — the identical per-prefix
+// chain an in-process parallel run schedules — with a fresh telemetry
+// registry whose wire export rides back on the result frame. A
+// heartbeat goroutine proves liveness between results so the
+// coordinator can tell "slow" from "wedged".
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"sre/internal/analysis"
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/route"
+	"sre/internal/src"
+)
+
+// defaultHeartbeat is the heartbeat interval when the coordinator does
+// not specify one.
+const defaultHeartbeat = 250 * time.Millisecond
+
+// WorkerMain runs the worker protocol over the given pipes and returns
+// the process exit status. `sre worker` (and the test harness's
+// re-exec hook) call it with os.Stdin/os.Stdout/os.Stderr.
+//
+// Exit statuses: 0 after a clean shutdown frame or EOF, 1 on a
+// protocol or I/O failure. Verification errors are not exit statuses —
+// they travel back as error frames so the coordinator can attribute
+// them; the coordinator treats any nonzero exit as a crash.
+func WorkerMain(stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "sre worker: "+format+"\n", args...)
+		return 1
+	}
+	init, err := readFrame(stdin)
+	if err != nil {
+		return fail("reading init frame: %v", err)
+	}
+	if init.Type == frameShutdown {
+		// A worker spawned just as the run completed: its shutdown frame
+		// can overtake the asynchronously written init. Nothing to do.
+		return 0
+	}
+	if init.Type != frameInit || init.Init == nil {
+		return fail("first frame is %q, want init", init.Type)
+	}
+	net, err := config.ParseString(init.Init.Network)
+	if err != nil {
+		return fail("parsing network: %v", err)
+	}
+	plan, err := ParseFaultPlan(os.Getenv(FaultEnv))
+	if err != nil {
+		return fail("parsing %s: %v", FaultEnv, err)
+	}
+	wopts := init.Init.Opts
+	opts := optionsFromWire(wopts)
+
+	out := &frameWriter{w: stdout}
+	if err := out.write(&frame{Type: frameHello, Hello: &helloMsg{PID: os.Getpid()}}); err != nil {
+		return fail("writing hello: %v", err)
+	}
+
+	// Heartbeats run for the whole worker life. The stall fault silences
+	// them without stopping the process — exactly the signature of a
+	// wedged worker the coordinator must detect.
+	interval := time.Duration(wopts.HeartbeatMS) * time.Millisecond
+	if interval <= 0 {
+		interval = defaultHeartbeat
+	}
+	var stalled atomic.Bool
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				if stalled.Load() {
+					continue
+				}
+				// A broken pipe means the coordinator is gone; the next
+				// result write will fail and exit the loop.
+				_ = out.write(&frame{Type: frameHeartbeat})
+			}
+		}
+	}()
+
+	for {
+		f, err := readFrame(stdin)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return 0 // coordinator closed our stdin: clean shutdown
+			}
+			return fail("reading frame: %v", err)
+		}
+		switch f.Type {
+		case frameShutdown:
+			return 0
+		case frameTask:
+			if f.Task == nil {
+				return fail("task frame missing payload")
+			}
+			if kind := plan.at(f.Task.Seq, f.Task.Attempt); kind != "" {
+				applyFault(kind, out, &stalled)
+			}
+			res, werr := runTask(net, opts, wopts, f.Task)
+			if werr != nil {
+				// A non-recoverable verification error: report it and keep
+				// serving; the coordinator aborts the run on its side.
+				if err := out.write(&frame{Type: frameError, Err: errorToWire(werr)}); err != nil {
+					return fail("writing error frame: %v", err)
+				}
+				continue
+			}
+			if err := out.write(&frame{Type: frameResult, Result: res}); err != nil {
+				return fail("writing result: %v", err)
+			}
+		default:
+			return fail("unexpected frame type %q", f.Type)
+		}
+	}
+}
+
+// runTask executes one prefix task and serializes the result.
+func runTask(net *config.Network, opts src.Options, wopts wireOptions, task *taskMsg) (*taskResult, error) {
+	pfx, err := route.ParsePrefix(task.Prefix)
+	if err != nil {
+		return nil, fmt.Errorf("coord: task %d has bad prefix %q: %w", task.Seq, task.Prefix, err)
+	}
+	tel := obs.New()
+	o := opts
+	o.Telemetry = tel
+	pipes, out, err := analysis.RunPrefixTask(net, o, pfx, wopts.Ladder,
+		analysis.LadderOptions{DisableBudgetHalving: wopts.DisableBudgetHalving})
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		for _, p := range pipes {
+			p.Release()
+		}
+	}()
+	wps, err := encodePipelines(pipes, net)
+	if err != nil {
+		return nil, err
+	}
+	return &taskResult{
+		Seq:       task.Seq,
+		Prefix:    task.Prefix,
+		Outcome:   outcomeToWire(out),
+		Pipes:     wps,
+		Telemetry: tel.ExportWire(),
+	}, nil
+}
+
+// applyFault injects one planned fault. crash/kill/exit never return;
+// corrupt writes a well-framed garbage payload then exits; stall mutes
+// heartbeats and hangs until the coordinator kills the process.
+func applyFault(kind string, out *frameWriter, stalled *atomic.Bool) {
+	switch kind {
+	case faultCrash:
+		os.Exit(137)
+	case faultKill:
+		killSelf()
+	case faultExit:
+		os.Exit(3)
+	case faultCorrupt:
+		out.mu.Lock()
+		payload := []byte("{\"type\":\"result\",\"result\":}garbage\n")
+		var hdr [4]byte
+		hdr[0] = byte(len(payload))
+		_, _ = out.w.Write(hdr[:])
+		_, _ = out.w.Write(payload)
+		out.mu.Unlock()
+		os.Exit(1)
+	case faultStall:
+		stalled.Store(true)
+		time.Sleep(10 * time.Minute) // killed long before this elapses
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,123 @@
+package obs
+
+// Telemetry wire form: a full-fidelity, JSON-transportable encoding of a
+// registry's instruments, used to ship per-task telemetry shards from
+// `sre worker` subprocesses back to the coordinator, which folds them in
+// with Merge exactly as an in-process parallel run folds worker shards.
+//
+// Unlike Report (the human-facing snapshot, which collapses histograms
+// to quantile summaries), Wire carries the raw power-of-two buckets, so
+// a decoded histogram merges bucket-for-bucket identically to the
+// original — the property TestWireHistogramBucketAlignment pins.
+//
+// Tracing spans are process-local (they hold live pointers and
+// monotonic clocks) and are not transported; a worker's span trees stay
+// in the worker. Counters, gauges, and histograms round-trip exactly.
+
+// Wire is the transportable form of a Telemetry registry.
+type Wire struct {
+	Counters map[string]int64         `json:"counters,omitempty"`
+	Gauges   map[string]float64       `json:"gauges,omitempty"`
+	Hists    map[string]WireHistogram `json:"histograms,omitempty"`
+}
+
+// WireHistogram is the transportable form of a Histogram: the raw
+// bucket occupancy, not the quantile summary.
+type WireHistogram struct {
+	Count int64 `json:"count"`
+	Sum   int64 `json:"sum"`
+	Max   int64 `json:"max"`
+	// Buckets[i] counts observations of bit length i (values in
+	// [2^(i-1), 2^i); bucket 0 counts observations ≤ 0), matching the
+	// in-memory layout. Trailing zero buckets are trimmed.
+	Buckets []int64 `json:"buckets,omitempty"`
+}
+
+// ExportWire captures the registry's instruments in wire form. Returns
+// nil on a nil registry. Safe to call concurrently with updates (fields
+// of one histogram may tear between each other, like Snapshot).
+func (t *Telemetry) ExportWire() *Wire {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	counters := make(map[string]*Counter, len(t.counters))
+	for k, v := range t.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(t.gauges))
+	for k, v := range t.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(t.hists))
+	for k, v := range t.hists {
+		hists[k] = v
+	}
+	t.mu.Unlock()
+
+	w := &Wire{}
+	if len(counters) > 0 {
+		w.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			w.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		w.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			w.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		w.Hists = make(map[string]WireHistogram, len(hists))
+		for k, h := range hists {
+			wh := WireHistogram{Count: h.count.Load(), Sum: h.sum.Load(), Max: h.max.Load()}
+			last := -1
+			for i := 0; i < histBuckets; i++ {
+				if h.buckets[i].Load() != 0 {
+					last = i
+				}
+			}
+			if last >= 0 {
+				wh.Buckets = make([]int64, last+1)
+				for i := 0; i <= last; i++ {
+					wh.Buckets[i] = h.buckets[i].Load()
+				}
+			}
+			w.Hists[k] = wh
+		}
+	}
+	return w
+}
+
+// Import reconstructs a registry from wire form. Bucket indices beyond
+// the receiver's bucket count (a stream from a build with a different
+// histBuckets) fold into the last bucket, so Count always equals the
+// bucket total. Returns nil on a nil wire value — and Merge(nil) is a
+// no-op, so a lost shard degrades to "no telemetry", never a crash.
+func (w *Wire) Import() *Telemetry {
+	if w == nil {
+		return nil
+	}
+	t := New()
+	for k, v := range w.Counters {
+		t.Counter(k).Add(v)
+	}
+	for k, v := range w.Gauges {
+		t.Gauge(k).Set(v)
+	}
+	for k, wh := range w.Hists {
+		h := t.Histogram(k)
+		h.count.Store(wh.Count)
+		h.sum.Store(wh.Sum)
+		h.max.Store(wh.Max)
+		for i, n := range wh.Buckets {
+			idx := i
+			if idx >= histBuckets {
+				idx = histBuckets - 1
+			}
+			h.buckets[idx].Add(n)
+		}
+	}
+	return t
+}

@@ -1,0 +1,119 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestWireRoundTrip pins the coordinator/worker telemetry contract:
+// exporting a registry to wire form, shipping it as JSON, importing it,
+// and merging into a parent must be indistinguishable from merging the
+// original shard in-process (the Merge semantics of TestShardMerge).
+func TestWireRoundTrip(t *testing.T) {
+	shard := New()
+	shard.Counter("bdd.gc_runs").Add(3)
+	shard.Counter("src.activations").Add(41)
+	shard.Gauge("bdd.peak_nodes").Max(12345)
+	for i := 0; i < 7; i++ {
+		shard.Histogram("spf.router_ns").Observe(int64(1) << uint(i*3))
+	}
+	shard.Histogram("spf.router_ns").Observe(0) // bucket 0
+
+	w := shard.ExportWire()
+	raw, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Wire
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	direct, viaWire := New(), New()
+	direct.Counter("seed").Inc()
+	viaWire.Counter("seed").Inc()
+	direct.Merge(shard)
+	viaWire.Merge(back.Import())
+
+	ds, ws := direct.Snapshot(), viaWire.Snapshot()
+	if !reflect.DeepEqual(ds.Counters, ws.Counters) {
+		t.Errorf("counters diverge: direct %+v wire %+v", ds.Counters, ws.Counters)
+	}
+	if !reflect.DeepEqual(ds.Gauges, ws.Gauges) {
+		t.Errorf("gauges diverge: direct %+v wire %+v", ds.Gauges, ws.Gauges)
+	}
+	if !reflect.DeepEqual(ds.Histograms, ws.Histograms) {
+		t.Errorf("histograms diverge: direct %+v wire %+v", ds.Histograms, ws.Histograms)
+	}
+}
+
+// TestWireHistogramBucketAlignment verifies the wire form preserves the
+// power-of-two bucket layout exactly: every observation lands in the
+// same bucket after a round trip, so quantile estimates (bucket upper
+// bounds) survive transport and a merged import never shifts mass
+// between buckets.
+func TestWireHistogramBucketAlignment(t *testing.T) {
+	shard := New()
+	h := shard.Histogram("h")
+	// One observation per bucket boundary: 0 → bucket 0, 2^i → bucket
+	// i+1 (bit length of 2^i is i+1).
+	h.Observe(0)
+	for i := 0; i < 62; i++ {
+		h.Observe(int64(1) << uint(i))
+	}
+	h.Observe(math.MaxInt64) // clamps into the last bucket
+
+	imported := shard.ExportWire().Import()
+	orig := shard.hists["h"]
+	got := imported.hists["h"]
+	for i := 0; i < histBuckets; i++ {
+		if o, g := orig.buckets[i].Load(), got.buckets[i].Load(); o != g {
+			t.Errorf("bucket %d: original %d, imported %d", i, o, g)
+		}
+	}
+	if orig.count.Load() != got.count.Load() || orig.sum.Load() != got.sum.Load() || orig.max.Load() != got.max.Load() {
+		t.Errorf("summary fields diverge: orig count=%d sum=%d max=%d, got count=%d sum=%d max=%d",
+			orig.count.Load(), orig.sum.Load(), orig.max.Load(),
+			got.count.Load(), got.sum.Load(), got.max.Load())
+	}
+	// Quantiles derive only from buckets, so they must match too.
+	if o, g := orig.snapshot(), got.snapshot(); o != g {
+		t.Errorf("snapshot diverges: orig %+v got %+v", o, g)
+	}
+	// Buckets past the local layout fold into the last bucket rather
+	// than being dropped: Count stays equal to the bucket total.
+	over := &Wire{Hists: map[string]WireHistogram{
+		"h": {Count: 2, Sum: 10, Max: 8, Buckets: append(make([]int64, histBuckets+3), 0)[:histBuckets+3]},
+	}}
+	over.Hists["h"].Buckets[histBuckets+1] = 2
+	folded := over.Import().hists["h"]
+	if folded.buckets[histBuckets-1].Load() != 2 {
+		t.Errorf("overflow buckets not folded: last bucket = %d, want 2", folded.buckets[histBuckets-1].Load())
+	}
+}
+
+// TestWireNil pins the degraded path: a lost shard imports to nil and
+// merges as a no-op, and a nil registry exports to nil.
+func TestWireNil(t *testing.T) {
+	var tel *Telemetry
+	if w := tel.ExportWire(); w != nil {
+		t.Fatal("nil telemetry must export nil")
+	}
+	var w *Wire
+	if got := w.Import(); got != nil {
+		t.Fatal("nil wire must import nil")
+	}
+	parent := New()
+	parent.Merge(w.Import()) // must not panic
+	// An empty registry exports an empty (but non-nil) wire value that
+	// imports cleanly.
+	empty := New().ExportWire()
+	if empty == nil {
+		t.Fatal("empty telemetry must export a non-nil wire value")
+	}
+	if snap := empty.Import().Snapshot(); len(snap.Counters) != 0 || len(snap.Histograms) != 0 {
+		t.Errorf("empty wire import not empty: %+v", snap)
+	}
+}

@@ -152,15 +152,20 @@ func (v *Verifier) Metrics() MetricsReport {
 	}
 	var hitsAtGC, missAtGC uint64
 	for _, pipe := range v.allPipes() {
-		est := pipe.Eng.Statistics()
 		bst := pipe.Sp.M.Statistics()
 		r.SRCSeconds += pipe.SRCTime.Seconds()
 		r.SPFSeconds += pipe.SPFTime.Seconds()
 		r.NumPFECs += pipe.NumPFECs()
-		r.RoutesImported += est.RoutesImported
-		r.RoutesPruned += est.RoutesPruned
-		r.RIBRoutes += est.RIBRoutes
-		r.Activations += est.Activations
+		// Pipelines decoded from worker subprocesses have no engine: the
+		// route-computation counters stayed in the worker and reach this
+		// registry only through its merged telemetry shard.
+		if pipe.Eng != nil {
+			est := pipe.Eng.Statistics()
+			r.RoutesImported += est.RoutesImported
+			r.RoutesPruned += est.RoutesPruned
+			r.RIBRoutes += est.RIBRoutes
+			r.Activations += est.Activations
+		}
 		r.BDD.LiveNodes += bst.LiveNodes
 		r.BDD.FreeNodes += bst.FreeNodes
 		r.BDD.PeakNodes += bst.PeakNodes

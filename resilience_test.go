@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -283,6 +284,43 @@ func TestResilientMineSpecs(t *testing.T) {
 		if !light[want] {
 			t.Errorf("no sound mined verdict for light prefix %s", want)
 		}
+	}
+}
+
+// TestCancelMidEscalationRung cancels the run the moment the ladder
+// announces its first retry rung for the overflowing heavy prefix: the
+// cancellation must land inside the rung's re-verification, surface as
+// ErrCanceled (an interruption is never "recoverable" — the ladder must
+// not swallow it as one more overflow), and abort the whole run instead
+// of producing a verifier.
+func TestCancelMidEscalationRung(t *testing.T) {
+	net := heavyLightNet(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var sawRung atomic.Bool
+	_, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures:  -1,
+		BDDNodeLimit: 800,
+		Resilient:    true,
+		Context:      ctx,
+		Progress: sre.ProgressFunc(func(e sre.ProgressEvent) {
+			if e.Stage == "resilience" && strings.Contains(e.Detail, "retrying on rung") {
+				sawRung.Store(true)
+				cancel()
+			}
+		}),
+	})
+	if !sawRung.Load() {
+		t.Fatal("run never reached an escalation rung (node-limit tuning drifted?)")
+	}
+	if err == nil {
+		t.Fatal("run canceled mid-rung should not produce a verifier")
+	}
+	if !errors.Is(err, sre.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+	if errors.Is(err, sre.ErrBDDLimit) {
+		t.Error("cancellation must not be misattributed to the node limit")
 	}
 }
 

@@ -17,6 +17,11 @@ const (
 	RungAbstract     = analysis.RungAbstract
 	RungHalveBudget  = analysis.RungHalveBudget
 	RungSplitHeaders = analysis.RungSplitHeaders
+	// RungWorkerCrash marks a prefix of a multi-process run that
+	// exhausted its worker attempts and was re-verified in-process. It
+	// attributes the crashes; the fallback ran the originally requested
+	// options, so the prefix's results are exact.
+	RungWorkerCrash = analysis.RungWorkerCrash
 )
 
 // Outcomes returns the per-prefix outcomes of a resilient run, sorted by
@@ -36,6 +41,26 @@ func (v *Verifier) Degraded() bool {
 	for _, o := range v.Outcomes() {
 		if o.Degraded || o.Err != nil {
 			return true
+		}
+	}
+	return false
+}
+
+// CrashDegraded reports whether any prefix of a multi-process run
+// (Options.Workers > 0) exhausted its worker attempts and fell back to
+// in-process verification. Unlike Degraded it is not gated on
+// Options.Resilient: crash attribution matters even when the fallback
+// verified the prefix exactly. `sre` exits with status 3 when this is
+// the only blemish on an otherwise successful run.
+func (v *Verifier) CrashDegraded() bool {
+	if v.part == nil {
+		return false
+	}
+	for _, o := range v.part.Outcomes() {
+		for _, r := range o.Rungs {
+			if r == RungWorkerCrash {
+				return true
+			}
 		}
 	}
 	return false

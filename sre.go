@@ -39,6 +39,7 @@ import (
 	"sre/internal/analysis"
 	"sre/internal/bdd"
 	"sre/internal/config"
+	"sre/internal/coord"
 	"sre/internal/obs"
 	"sre/internal/prob"
 	"sre/internal/resil"
@@ -119,6 +120,20 @@ type Options struct {
 	// setting: outcomes, merged pipelines, and mined specs are ordered
 	// by prefix, never by completion order.
 	Parallelism int
+	// Workers, when > 0, verifies prefixes across that many worker
+	// subprocesses instead of in-process goroutines: the coordinator
+	// fork/execs `sre worker` children, supervises them with heartbeats
+	// and per-task deadlines, retries crashed tasks with backoff, and
+	// quarantines prefixes that keep crashing to an in-process fallback
+	// (surfaced via Verifier.CrashDegraded). Results are byte-identical
+	// to an in-process Parallelism run at any worker count. 0 (the
+	// default) keeps everything in-process.
+	Workers int
+	// FaultPlan injects deterministic worker faults for multi-process
+	// runs — testing and CI only. See the coord package for the plan
+	// syntax (e.g. "crash@0;stall@2"). Empty inherits SRE_FAULT from
+	// the environment.
+	FaultPlan string
 	// Resilient enables graceful degradation for multi-prefix runs.
 	// Instead of failing the whole run when the BDD node table
 	// overflows, the offending prefix is quarantined and retried
@@ -209,6 +224,24 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 		}
 	}()
 	defer guard("verify", srcOpts.Telemetry, &err)
+	// A multi-process run hands the whole domain to the coordinator;
+	// worker crashes are retried there, so only verification errors
+	// (cancellation, non-convergence, a non-resilient overflow) abort.
+	if opts.Workers > 0 {
+		v.resilient = opts.Resilient
+		domain := shardDomain(net, prefixes)
+		part, perr := coord.Run(net, domain, coord.Options{
+			Workers:   opts.Workers,
+			Verify:    srcOpts,
+			Resilient: opts.Resilient,
+			FaultPlan: opts.FaultPlan,
+		})
+		if perr != nil {
+			return nil, perr
+		}
+		v.part, v.prefixes = part, domain
+		return v, nil
+	}
 	if opts.Resilient {
 		v.resilient = true
 		domain := prefixes
