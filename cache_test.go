@@ -1,0 +1,234 @@
+package sre_test
+
+// Persistent result cache through the public API. The acceptance bar
+// for Options.Store is byte-identity: a warm, cold, or deliberately
+// poisoned cache must never change what a run reports — only how fast
+// it reports it (and, after corruption, the quarantine counters).
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"sre"
+	"sre/internal/workload"
+)
+
+// fatTreeCacheRun is fatTreeRun with a result store attached, at the
+// given in-process parallelism and worker count. It opens a fresh store
+// handle on dir so each run reports its own traffic metrics.
+func fatTreeCacheRun(t *testing.T, dir string, parallelism, workers int) ([]sre.PrefixOutcome, int, []sre.PrefixResult, sre.StoreMetrics) {
+	t.Helper()
+	st, err := sre.OpenStore(dir, sre.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	net := workload.FatTree(4, workload.BGP)
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: 2, Resilient: true,
+		Parallelism: parallelism, Workers: workers, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	outs := v.Outcomes()
+	numPFECs := v.Metrics().NumPFECs
+	sweep, err := v.FailureTolerances("edge0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, numPFECs, sweep, st.Metrics()
+}
+
+// TestCacheDeterminism pins the cache's public contract: cold and warm
+// cached runs — sequential, parallel, and multi-process — are
+// indistinguishable from a cache-less run.
+func TestCacheDeterminism(t *testing.T) {
+	baseOuts, basePFECs, baseSweep := fatTreeRun(t, 1)
+	if len(baseOuts) == 0 {
+		t.Fatal("baseline reported no outcomes")
+	}
+	dir := t.TempDir()
+
+	outs, pfecs, sweep, m := fatTreeCacheRun(t, dir, 1, 0)
+	if !reflect.DeepEqual(outs, baseOuts) || pfecs != basePFECs || !reflect.DeepEqual(sweep, baseSweep) {
+		t.Fatalf("cold cached run diverges from cache-less run")
+	}
+	if m.Puts == 0 {
+		t.Fatalf("cold run published nothing: %+v", m)
+	}
+	if m.Hits != 0 {
+		t.Fatalf("cold run hit a fresh store: %+v", m)
+	}
+
+	cases := []struct {
+		name                 string
+		parallelism, workers int
+	}{
+		{"warm/parallel=1", 1, 0},
+		{"warm/parallel=2", 2, 0},
+		{"warm/workers=1", 0, 1},
+		{"warm/workers=2", 0, 2},
+	}
+	for _, tc := range cases {
+		outs, pfecs, sweep, m := fatTreeCacheRun(t, dir, tc.parallelism, tc.workers)
+		if !reflect.DeepEqual(outs, baseOuts) {
+			t.Errorf("%s: outcomes diverge\n got %+v\nwant %+v", tc.name, outs, baseOuts)
+		}
+		if pfecs != basePFECs {
+			t.Errorf("%s: NumPFECs = %d, want %d", tc.name, pfecs, basePFECs)
+		}
+		if !reflect.DeepEqual(sweep, baseSweep) {
+			t.Errorf("%s: tolerance sweep diverges", tc.name)
+		}
+		if m.Hits == 0 {
+			t.Errorf("%s: warm run missed the cache entirely: %+v", tc.name, m)
+		}
+		if m.Quarantined != 0 {
+			t.Errorf("%s: clean store quarantined records: %+v", tc.name, m)
+		}
+	}
+}
+
+// storeRecords lists every record file under dir's objects tree in
+// path order.
+func storeRecords(t *testing.T, dir string) []string {
+	t.Helper()
+	var recs []string
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && filepath.Ext(path) == ".rec" {
+			recs = append(recs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(recs)
+	return recs
+}
+
+// TestCachePoisonedSelfHeals is the acceptance scenario: truncate,
+// bit-flip, and half-rename records in a populated store, then run
+// against it. The run must succeed with results identical to a cold
+// cache-less run, and the corruption must show up as quarantined
+// records in the metrics — never as wrong answers.
+func TestCachePoisonedSelfHeals(t *testing.T) {
+	baseOuts, basePFECs, baseSweep := fatTreeRun(t, 1)
+	dir := t.TempDir()
+	fatTreeCacheRun(t, dir, 2, 0) // populate
+
+	recs := storeRecords(t, dir)
+	if len(recs) < 3 {
+		t.Fatalf("need at least 3 records to poison, have %d", len(recs))
+	}
+	// Torn write: the record ends mid-payload.
+	fi, err := os.Stat(recs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(recs[0], fi.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	// Bit flip: one payload byte differs, checksum catches it.
+	buf, err := os.ReadFile(recs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf[len(buf)/2] ^= 0x40
+	if err := os.WriteFile(recs[1], buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Half-renamed publication: a crash left a temp beside the objects
+	// and an empty record under the real name.
+	if err := os.WriteFile(filepath.Join(filepath.Dir(recs[2]), ".tmp-99999-1"), buf[:len(buf)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(recs[2], nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name                 string
+		parallelism, workers int
+	}{
+		{"poisoned/parallel=2", 2, 0},
+		{"poisoned/workers=2", 0, 2},
+	} {
+		outs, pfecs, sweep, m := fatTreeCacheRun(t, dir, tc.parallelism, tc.workers)
+		if !reflect.DeepEqual(outs, baseOuts) {
+			t.Errorf("%s: outcomes diverge after corruption\n got %+v\nwant %+v", tc.name, outs, baseOuts)
+		}
+		if pfecs != basePFECs {
+			t.Errorf("%s: NumPFECs = %d, want %d", tc.name, pfecs, basePFECs)
+		}
+		if !reflect.DeepEqual(sweep, baseSweep) {
+			t.Errorf("%s: tolerance sweep diverges after corruption", tc.name)
+		}
+		if tc.workers == 0 && m.Quarantined == 0 {
+			t.Errorf("%s: no quarantined records reported: %+v", tc.name, m)
+		}
+		// The first poisoned pass quarantines and republishes; later
+		// passes must find a fully healed store.
+		baseOuts2, _, _, m2 := fatTreeCacheRun(t, dir, tc.parallelism, tc.workers)
+		if !reflect.DeepEqual(baseOuts2, baseOuts) {
+			t.Errorf("%s: healed store diverges", tc.name)
+		}
+		if m2.Quarantined != 0 {
+			t.Errorf("%s: corruption survived the healing pass: %+v", tc.name, m2)
+		}
+
+		// Re-poison for the next scheduling mode.
+		recs = storeRecords(t, dir)
+		if len(recs) > 0 {
+			if err := os.Truncate(recs[0], 3); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// The quarantine directory holds the corpses for post-mortems.
+	st, err := sre.OpenStore(dir, sre.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	stats, err := st.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QuarantinedFiles == 0 {
+		t.Errorf("quarantine directory is empty after poisoning: %+v", stats)
+	}
+}
+
+// TestCacheOptionsInvalidate pins that a warm cache never replays
+// results for different verification options: changing the failure
+// budget must recompute, not hit.
+func TestCacheOptionsInvalidate(t *testing.T) {
+	dir := t.TempDir()
+	fatTreeCacheRun(t, dir, 2, 0) // populate at MaxFailures 2
+
+	st, err := sre.OpenStore(dir, sre.StoreOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	net := workload.FatTree(4, workload.BGP)
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: 1, Resilient: true, Parallelism: 2, Store: st})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	if m := st.Metrics(); m.Hits != 0 {
+		t.Fatalf("run with different options hit stale records: %+v", m)
+	}
+}

@@ -1,0 +1,187 @@
+package main
+
+// End-to-end result-cache tests through the CLI: warm and poisoned
+// cache runs must print byte-identical stdout, corrupt stores must
+// self-heal with exit 0, and the `sre cache` maintenance subcommands
+// must honor their documented exit codes.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// runCLIOut is runCLI capturing stdout too — the cache tests assert
+// byte-identity of what the command prints.
+func runCLIOut(t *testing.T, extraEnv []string, args ...string) (int, string, string) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(), "SRE_CLI_UNDER_TEST="+strings.Join(args, "\x1f"))
+	cmd.Env = append(cmd.Env, extraEnv...)
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running CLI: %v", err)
+	}
+	return code, stdout.String(), stderr.String()
+}
+
+// TestCacheCLIByteIdentity is the CLI face of the acceptance scenario:
+// a cold cache-less run, a cold cached run, a warm cached run, and a
+// run over a poisoned store must all print the same bytes and exit 0.
+func TestCacheCLIByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(netPath, []byte(cliNet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	query := []string{"-quiet", "-resilient", "tolerance", "A", "10.0.0.0/8"}
+
+	code, baseline, errOut := runCLIOut(t, nil, append([]string{"-config", netPath}, query...)...)
+	if code != 0 {
+		t.Fatalf("cache-less run exited %d: %s", code, errOut)
+	}
+	if baseline == "" {
+		t.Fatal("cache-less run printed nothing")
+	}
+
+	cached := append([]string{"-config", netPath, "-cache-dir", cacheDir}, query...)
+	code, cold, errOut := runCLIOut(t, nil, cached...)
+	if code != 0 || cold != baseline {
+		t.Fatalf("cold cached run: exit %d\nstdout %q\nwant   %q\nstderr: %s", code, cold, baseline, errOut)
+	}
+	code, warm, errOut := runCLIOut(t, nil, cached...)
+	if code != 0 || warm != baseline {
+		t.Fatalf("warm cached run: exit %d\nstdout %q\nwant   %q\nstderr: %s", code, warm, baseline, errOut)
+	}
+	code, workers, errOut := runCLIOut(t, nil, append([]string{"-config", netPath, "-cache-dir", cacheDir, "-workers", "2"}, query...)...)
+	if code != 0 || workers != baseline {
+		t.Fatalf("warm -workers run: exit %d\nstdout %q\nwant   %q\nstderr: %s", code, workers, baseline, errOut)
+	}
+
+	// Poison the store: truncate one record, bit-flip another, leave a
+	// half-renamed temp file. The run must quarantine, recompute, print
+	// the same bytes, and exit 0.
+	var recs []string
+	err := filepath.Walk(filepath.Join(cacheDir, "objects"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() && strings.HasSuffix(path, ".rec") {
+			recs = append(recs, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("cached run published no records")
+	}
+	if err := os.Truncate(recs[0], 5); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) > 1 {
+		buf, err := os.ReadFile(recs[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf[len(buf)/2] ^= 0x01
+		if err := os.WriteFile(recs[1], buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(filepath.Dir(recs[0]), ".tmp-1-1"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	code, poisoned, errOut := runCLIOut(t, nil, cached...)
+	if code != 0 {
+		t.Fatalf("poisoned run exited %d: %s", code, errOut)
+	}
+	if poisoned != baseline {
+		t.Fatalf("poisoned run diverged\nstdout %q\nwant   %q", poisoned, baseline)
+	}
+
+	// After the self-healing pass the store verifies clean again.
+	code, out, _ := runCLIOut(t, nil, "cache", "verify", "-cache-dir", cacheDir)
+	if code != 0 {
+		t.Fatalf("cache verify after healing exited %d: %s", code, out)
+	}
+	if !strings.Contains(out, "0 quarantined") {
+		t.Fatalf("cache verify after healing: %q", out)
+	}
+}
+
+// TestCacheCLIMaintenance covers the `sre cache` subcommand surface:
+// stats, verify (exit 1 on quarantine), gc, and usage errors.
+func TestCacheCLIMaintenance(t *testing.T) {
+	dir := t.TempDir()
+	netPath := filepath.Join(dir, "net.txt")
+	if err := os.WriteFile(netPath, []byte(cliNet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cacheDir := filepath.Join(dir, "cache")
+	if code, _, errOut := runCLIOut(t, nil, "-config", netPath, "-quiet", "-resilient",
+		"-cache-dir", cacheDir, "tolerance", "A", "10.0.0.0/8"); code != 0 {
+		t.Fatalf("populate run exited %d: %s", code, errOut)
+	}
+
+	code, out, _ := runCLIOut(t, nil, "cache", "stats", "-cache-dir", cacheDir)
+	if code != 0 || !strings.Contains(out, "records") {
+		t.Fatalf("cache stats: exit %d, %q", code, out)
+	}
+	if strings.Contains(out, "records 0 ") {
+		t.Fatalf("cache stats reports empty store: %q", out)
+	}
+
+	code, out, _ = runCLIOut(t, nil, "cache", "verify", "-cache-dir", cacheDir)
+	if code != 0 || !strings.Contains(out, "0 quarantined") {
+		t.Fatalf("cache verify on clean store: exit %d, %q", code, out)
+	}
+
+	// Corrupt a record: verify must quarantine it and exit 1.
+	var rec string
+	err := filepath.Walk(filepath.Join(cacheDir, "objects"), func(path string, fi os.FileInfo, err error) error {
+		if err == nil && !fi.IsDir() && strings.HasSuffix(path, ".rec") && rec == "" {
+			rec = path
+		}
+		return nil
+	})
+	if err != nil || rec == "" {
+		t.Fatalf("no record found: %v", err)
+	}
+	if err := os.Truncate(rec, 3); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCLIOut(t, nil, "cache", "verify", "-cache-dir", cacheDir)
+	if code != 1 || !strings.Contains(out, "1 quarantined") {
+		t.Fatalf("cache verify on corrupt store: exit %d, %q", code, out)
+	}
+
+	// GC with a tiny byte budget evicts everything that remains.
+	code, out, _ = runCLIOut(t, nil, "cache", "gc", "-cache-dir", cacheDir, "-cache-max-bytes", "1")
+	if code != 0 || !strings.Contains(out, "0 records (0) remain") {
+		t.Fatalf("cache gc: exit %d, %q", code, out)
+	}
+
+	// Usage errors: missing -cache-dir, missing subcommand, unknown one.
+	for _, args := range [][]string{
+		{"cache", "stats"},
+		{"cache"},
+		{"cache", "frobnicate", "-cache-dir", cacheDir},
+	} {
+		if code, _, _ := runCLIOut(t, nil, args...); code != 2 {
+			t.Errorf("sre %s: exit %d, want 2", strings.Join(args, " "), code)
+		}
+	}
+}

@@ -91,11 +91,14 @@ var (
 	traceOut    = flag.String("trace-out", "", "write a Chrome trace_event JSON file of the run (view at ui.perfetto.dev)")
 	eventsOut   = flag.String("events-out", "", "write an NDJSON flight-recorder event log (input of srebench -compare)")
 	quiet       = flag.Bool("quiet", false, "suppress progress, summary, and resilience lines on stderr")
+	cacheDir    = flag.String("cache-dir", "", "persistent result cache directory: finished prefixes are published there and replayed by later runs; corrupt records are quarantined and recomputed. Shared safely across processes; also the target of the `cache` maintenance command")
+	gcMaxBytes  = flag.Int64("cache-max-bytes", 0, "cache gc: evict oldest records until the store fits this many bytes (0 = no size budget)")
+	gcMaxAge    = flag.Duration("cache-max-age", 0, "cache gc: evict records older than this (e.g. 720h; 0 = no age budget)")
 )
 
 func usage() {
 	fmt.Fprintln(os.Stderr, "usage: sre -config <file> <command> [args]")
-	fmt.Fprintln(os.Stderr, "commands: tolerance, waypoint, isolation, probability, loadbalance, mine, diff, pfecs, check")
+	fmt.Fprintln(os.Stderr, "commands: tolerance, waypoint, isolation, probability, loadbalance, mine, diff, pfecs, check, cache")
 	os.Exit(2)
 }
 
@@ -133,6 +136,11 @@ func main() {
 	}
 	cmd := args[0]
 	rest := parseCommandArgs(args[1:])
+	// The cache maintenance command operates on the store alone — no
+	// network, no verification.
+	if cmd == "cache" {
+		os.Exit(runCache(rest))
+	}
 	if *configPath == "" {
 		usage()
 	}
@@ -157,6 +165,13 @@ func main() {
 		BDDNodeLimit: *nodeLimit, Parallelism: *parallel, Workers: *workers}
 	if *progress && !*quiet {
 		opts.Progress = sre.StderrProgress()
+	}
+	if *cacheDir != "" {
+		st, err := sre.OpenStore(*cacheDir, sre.StoreOptions{Telemetry: tel})
+		if err != nil {
+			fatal(err)
+		}
+		opts.Store = st
 	}
 	var rec *sre.FlightRecorder
 	if *traceOut != "" || *eventsOut != "" {
@@ -215,6 +230,58 @@ func main() {
 	finish(v, tel, start)
 	writeExports(rec)
 	os.Exit(exitCode)
+}
+
+// runCache executes the store maintenance subcommands:
+//
+//	sre cache stats  -cache-dir <dir>   # inventory, no records opened
+//	sre cache verify -cache-dir <dir>   # full fsck: re-checksum every record
+//	sre cache gc     -cache-dir <dir> [-cache-max-bytes N] [-cache-max-age D]
+//
+// verify exits 1 when it quarantines anything (the store self-healed,
+// but CI probably wants to know); stats and gc exit 0 unless the
+// directory itself is unreadable.
+func runCache(rest []string) int {
+	if len(rest) != 1 || *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "usage: sre cache <stats|verify|gc> -cache-dir <dir> [-cache-max-bytes N] [-cache-max-age D]")
+		return 2
+	}
+	st, err := sre.OpenStore(*cacheDir, sre.StoreOptions{})
+	if err != nil {
+		fatal(err)
+	}
+	switch rest[0] {
+	case "stats":
+		s, err := st.Stats()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("records %d (%s), quarantined %d (%s), temp files %d\n",
+			s.Records, obs.HumanCount(s.Bytes), s.QuarantinedFiles,
+			obs.HumanCount(s.QuarantinedBytes), s.TempFiles)
+	case "verify":
+		r, err := st.Verify()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("checked %d records: %d ok, %d quarantined, %d stale temps reaped\n",
+			r.Checked, r.OK, r.Quarantined, r.TempsReaped)
+		if r.Quarantined > 0 {
+			return 1
+		}
+	case "gc":
+		r, err := st.GC(sre.StoreGCOptions{MaxBytes: *gcMaxBytes, MaxAge: *gcMaxAge})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("evicted %d records (%s), swept %d quarantined, reaped %d temps; %d records (%s) remain\n",
+			r.Evicted, obs.HumanCount(r.EvictedBytes), r.QuarantineSwept,
+			r.TempsReaped, r.Remaining, obs.HumanCount(r.RemainingBytes))
+	default:
+		fmt.Fprintf(os.Stderr, "sre cache: unknown subcommand %q (want stats, verify, or gc)\n", rest[0])
+		return 2
+	}
+	return 0
 }
 
 // writeExports writes the flight-recorder exports requested by

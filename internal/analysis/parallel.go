@@ -112,6 +112,11 @@ type prefixRunner struct {
 	base   src.Options
 	ladder bool // escalate recoverable overflows instead of aborting
 	lad    LadderOptions
+	// cache, when non-nil, is consulted once per prefix before any task
+	// is scheduled (sequentially, so hits cost no pool slots and results
+	// cannot depend on lookup interleaving) and published to on every
+	// clean completion.
+	cache *ResultCache
 
 	// collect receives each finished prefix: its pipelines (nil when
 	// the ladder was exhausted) and outcome. It is called from worker
@@ -138,6 +143,22 @@ func (pr *prefixRunner) run(domain []route.Prefix, workers int) error {
 		}
 		seen[pfx] = true
 		jobs = append(jobs, newPrefixJob(pr, pfx))
+	}
+	if pr.cache != nil {
+		kept := jobs[:0]
+		for _, j := range jobs {
+			j.key = CacheKey(pr.net, pr.base, j.pfx, pr.ladder, pr.lad)
+			pipes, out, hit, err := pr.cache.Lookup(pr.net, pr.base, j.key, j.pfx, pr.base.Telemetry)
+			if err != nil {
+				return err
+			}
+			if hit {
+				pr.collect(j.pfx, pipes, out)
+				continue
+			}
+			kept = append(kept, j)
+		}
+		jobs = kept
 	}
 	// Largest first: round-robin seeding then puts the most expensive
 	// prefixes at the head of every worker queue (LPT scheduling).
@@ -170,6 +191,7 @@ type prefixJob struct {
 	pfx     route.Prefix
 	domain  []route.Prefix
 	cost    int64
+	key     string // cache key; "" when the run carries no cache
 	out     PrefixOutcome
 	rungs   []rungAttempt
 	idx     int // 0 = initial attempt, i>0 = rungs[i-1]
@@ -324,6 +346,9 @@ func (j *prefixJob) degrade(w *sched.Worker, k int) {
 }
 
 func (j *prefixJob) deliver(w *sched.Worker, pipes []*Pipeline) {
+	// In-process producers publish without a telemetry shard: their
+	// counters already live in the run's own registry.
+	j.r.cache.Publish(j.r.net, j.key, j.pfx, pipes, j.out, nil)
 	j.r.collect(j.pfx, pipes, j.out)
 }
 
@@ -338,7 +363,7 @@ func (j *prefixJob) emit(w *sched.Worker, detail string) {
 // ladder retries re-entering the queue as fresh tasks. Groups, like the
 // sequential runner's outcome maps, are assembled in prefix order, so
 // results do not depend on completion order.
-func runPartitionedParallel(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions, workers int) (*Partitioned, error) {
+func runPartitionedParallel(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions, workers int, cache *ResultCache) (*Partitioned, error) {
 	pt := &Partitioned{
 		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),
 		byPrefix: make(map[route.Prefix][]*Pipeline, len(prefixes)),
@@ -347,7 +372,7 @@ func runPartitionedParallel(net *config.Network, opts src.Options, prefixes []ro
 		pt.outcomes[pfx] = &PrefixOutcome{Prefix: pfx, EffectivePruneK: opts.PruneK}
 	}
 	var mu sync.Mutex
-	pr := &prefixRunner{net: net, base: opts, ladder: true, lad: lad,
+	pr := &prefixRunner{net: net, base: opts, ladder: true, lad: lad, cache: cache,
 		collect: func(pfx route.Prefix, pipes []*Pipeline, out PrefixOutcome) {
 			mu.Lock()
 			defer mu.Unlock()
@@ -371,6 +396,13 @@ func runPartitionedParallel(net *config.Network, opts src.Options, prefixes []ro
 // like the combined Run it replaces. The returned Partitioned has a
 // clean outcome and one pipeline per prefix, in prefix order.
 func RunSharded(net *config.Network, opts src.Options, prefixes []route.Prefix, workers int) (*Partitioned, error) {
+	return RunShardedCached(net, opts, prefixes, workers, nil)
+}
+
+// RunShardedCached is RunSharded with a persistent result cache: each
+// prefix is looked up before scheduling (hits skip computation
+// entirely) and published on clean completion.
+func RunShardedCached(net *config.Network, opts src.Options, prefixes []route.Prefix, workers int, cache *ResultCache) (*Partitioned, error) {
 	if len(prefixes) == 0 {
 		return nil, fmt.Errorf("analysis: sharded run needs at least one prefix")
 	}
@@ -382,7 +414,7 @@ func RunSharded(net *config.Network, opts src.Options, prefixes []route.Prefix, 
 		pt.outcomes[pfx] = &PrefixOutcome{Prefix: pfx, EffectivePruneK: opts.PruneK}
 	}
 	var mu sync.Mutex
-	pr := &prefixRunner{net: net, base: opts,
+	pr := &prefixRunner{net: net, base: opts, cache: cache,
 		collect: func(pfx route.Prefix, pipes []*Pipeline, out PrefixOutcome) {
 			mu.Lock()
 			defer mu.Unlock()

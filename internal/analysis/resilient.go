@@ -149,11 +149,24 @@ func recoverable(err error) bool {
 // resilience.degraded (prefixes verified on a ladder rung),
 // resilience.failed (prefixes that exhausted the ladder).
 func RunPartitioned(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions) (*Partitioned, error) {
+	return RunPartitionedCached(net, opts, prefixes, lad, nil)
+}
+
+// RunPartitionedCached is RunPartitioned with a persistent result
+// cache. A cache-carrying sequential run routes through the per-prefix
+// scheduler at one worker instead of the group-bisection path: the
+// cache is per prefix task, and the determinism contract pins the two
+// paths to identical results, so the single integration point serves
+// every parallelism setting.
+func RunPartitionedCached(net *config.Network, opts src.Options, prefixes []route.Prefix, lad LadderOptions, cache *ResultCache) (*Partitioned, error) {
 	if len(prefixes) == 0 {
 		return nil, fmt.Errorf("analysis: partitioned run needs at least one prefix")
 	}
-	if w := Workers(opts); w > 1 {
-		return runPartitionedParallel(net, opts, prefixes, lad, w)
+	if w := Workers(opts); w > 1 || cache != nil {
+		if w < 1 {
+			w = 1
+		}
+		return runPartitionedParallel(net, opts, prefixes, lad, w, cache)
 	}
 	pt := &Partitioned{
 		outcomes: make(map[route.Prefix]*PrefixOutcome, len(prefixes)),

@@ -1,0 +1,286 @@
+package analysis
+
+// Wire forms for pipelines, outcomes, and errors — shared by the
+// multi-process coordinator (internal/coord frames them onto worker
+// pipes) and the persistent result store (internal/analysis/cache.go
+// uses them as the record payload). A producer flattens its pipelines —
+// PFEC path metadata plus one bdd.Write blob per pipeline with every
+// predicate as a root, in (source router, PFEC index) order — and the
+// consumer rebuilds them as query-only decoded pipelines in a fresh
+// symbolic space with the identical variable layout (NewRunSpace).
+// Decoded roots are Ref'd immediately: bdd.Manager.Read hash-conses
+// without referencing, and the references must survive later GC safe
+// points, mirroring how spf.Forward references every PFEC predicate.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"time"
+
+	"sre/internal/bdd"
+	"sre/internal/config"
+	"sre/internal/obs"
+	"sre/internal/resil"
+	"sre/internal/route"
+	"sre/internal/spf"
+	"sre/internal/src"
+	"sre/internal/topology"
+)
+
+// WirePipeline is one serialized pipeline: per-source PFEC metadata
+// plus a single bdd.Write blob holding every predicate, roots in
+// (source router, PFEC index) order.
+type WirePipeline struct {
+	Scope    string       `json:"scope,omitempty"`
+	SRCNanos int64        `json:"src_ns"`
+	SPFNanos int64        `json:"spf_ns"`
+	Sources  []WireSource `json:"sources"`
+	BDD      []byte       `json:"bdd"`
+}
+
+// WireSource is the PFEC list of one source router.
+type WireSource struct {
+	PFECs []WirePFEC `json:"pfecs,omitempty"`
+}
+
+// WirePFEC is one PFEC's transportable metadata; its predicate travels
+// in the enclosing pipeline's BDD blob.
+type WirePFEC struct {
+	Path      []int32 `json:"path"`
+	Delivered bool    `json:"delivered,omitempty"`
+	Looped    bool    `json:"looped,omitempty"`
+}
+
+// WireOutcome is PrefixOutcome in transportable form. WorkerCrashes
+// never crosses the wire: the coordinator owns attempt accounting.
+type WireOutcome struct {
+	Err             *WireError `json:"err,omitempty"`
+	Quarantined     bool       `json:"quarantined,omitempty"`
+	Degraded        bool       `json:"degraded,omitempty"`
+	Rungs           []string   `json:"rungs,omitempty"`
+	EffectivePruneK int        `json:"effective_prune_k"`
+}
+
+// EncodePipelines serializes a prefix task's pipelines for transport or
+// storage.
+func EncodePipelines(pipes []*Pipeline, net *config.Network) ([]WirePipeline, error) {
+	out := make([]WirePipeline, 0, len(pipes))
+	n := net.Topology.NumRouters()
+	for _, p := range pipes {
+		wp := WirePipeline{
+			SRCNanos: p.SRCTime.Nanoseconds(),
+			SPFNanos: p.SPFTime.Nanoseconds(),
+			Sources:  make([]WireSource, n),
+		}
+		if p.Scope != nil {
+			wp.Scope = p.Scope.String()
+		}
+		var roots []bdd.Node
+		for r := 0; r < n; r++ {
+			pfecs := p.PFECs(topology.RouterID(r))
+			ws := WireSource{PFECs: make([]WirePFEC, 0, len(pfecs))}
+			for _, pf := range pfecs {
+				path := make([]int32, len(pf.Path))
+				for i, h := range pf.Path {
+					path[i] = int32(h)
+				}
+				ws.PFECs = append(ws.PFECs, WirePFEC{
+					Path: path, Delivered: pf.Delivered, Looped: pf.Looped})
+				roots = append(roots, pf.Pred)
+			}
+			wp.Sources[r] = ws
+		}
+		var buf bytes.Buffer
+		if err := p.Sp.M.Write(&buf, roots...); err != nil {
+			return nil, fmt.Errorf("analysis: encode pipeline: %w", err)
+		}
+		wp.BDD = buf.Bytes()
+		out = append(out, wp)
+	}
+	return out, nil
+}
+
+// DecodePipelines rebuilds a task's pipelines from the wire form. Each
+// pipeline gets its own symbolic space shaped exactly like the
+// producer's (same variable layout, node limit, interrupt hook, and
+// telemetry from opts), so downstream property queries behave
+// identically to pipelines built in-process. Any fault — a malformed
+// blob, mismatched counts, a node-limit overflow while re-consing —
+// surfaces as an error, never a panic: a corrupt result is a retryable
+// worker failure (coord) or a quarantinable record (store).
+func DecodePipelines(net *config.Network, opts src.Options, wps []WirePipeline, tel *obs.Telemetry) (pipes []*Pipeline, err error) {
+	defer func() {
+		if err != nil {
+			for _, p := range pipes {
+				p.Release()
+			}
+			pipes = nil
+		}
+	}()
+	defer guardDecode(&err)
+	n := net.Topology.NumRouters()
+	for _, wp := range wps {
+		var scope *route.Prefix
+		if wp.Scope != "" {
+			s, perr := route.ParsePrefix(wp.Scope)
+			if perr != nil {
+				return pipes, fmt.Errorf("analysis: decode pipeline scope: %w", perr)
+			}
+			scope = &s
+		}
+		if len(wp.Sources) != n {
+			return pipes, fmt.Errorf("analysis: decode pipeline: %d sources, network has %d routers", len(wp.Sources), n)
+		}
+		sp := newRunSpace(net, opts)
+		roots, rerr := sp.M.Read(bytes.NewReader(wp.BDD))
+		if rerr != nil {
+			return pipes, fmt.Errorf("analysis: decode pipeline BDDs: %w", rerr)
+		}
+		pfecs := make([][]*spf.PFEC, n)
+		next := 0
+		for r := 0; r < n; r++ {
+			list := make([]*spf.PFEC, 0, len(wp.Sources[r].PFECs))
+			for _, wpf := range wp.Sources[r].PFECs {
+				if next >= len(roots) {
+					return pipes, fmt.Errorf("analysis: decode pipeline: %d predicates for more PFECs", len(roots))
+				}
+				if len(wpf.Path) == 0 {
+					return pipes, fmt.Errorf("analysis: decode pipeline: empty PFEC path")
+				}
+				path := make([]topology.RouterID, len(wpf.Path))
+				for i, h := range wpf.Path {
+					if h < 0 || int(h) >= n {
+						return pipes, fmt.Errorf("analysis: decode pipeline: router %d out of range", h)
+					}
+					path[i] = topology.RouterID(h)
+				}
+				list = append(list, &spf.PFEC{
+					Path: path, Pred: sp.M.Ref(roots[next]),
+					Delivered: wpf.Delivered, Looped: wpf.Looped})
+				next++
+			}
+			pfecs[r] = list
+		}
+		if next != len(roots) {
+			return pipes, fmt.Errorf("analysis: decode pipeline: %d predicates for %d PFECs", len(roots), next)
+		}
+		pipes = append(pipes, NewDecodedPipeline(net, sp, scope, pfecs,
+			time.Duration(wp.SRCNanos), time.Duration(wp.SPFNanos), tel))
+	}
+	return pipes, nil
+}
+
+// guardDecode converts expected decode-time panics (BDD node-limit
+// overflow while re-consing, cooperative interruption from the space's
+// interrupt hook) into errors; anything else is a defect and re-panics.
+func guardDecode(errp *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok && (errors.Is(e, bdd.ErrNodeLimit) || resil.Interruption(e)) {
+		*errp = resil.Stage("decode", e)
+		return
+	}
+	panic(r)
+}
+
+// OutcomeToWire / OutcomeFromWire translate PrefixOutcome.
+func OutcomeToWire(out PrefixOutcome) WireOutcome {
+	return WireOutcome{
+		Err:             ErrorToWire(out.Err),
+		Quarantined:     out.Quarantined,
+		Degraded:        out.Degraded,
+		Rungs:           out.Rungs,
+		EffectivePruneK: out.EffectivePruneK,
+	}
+}
+
+// OutcomeFromWire rebuilds a PrefixOutcome for pfx.
+func OutcomeFromWire(pfx route.Prefix, wo WireOutcome) PrefixOutcome {
+	return PrefixOutcome{
+		Prefix:          pfx,
+		Err:             wo.Err.ToError(),
+		Quarantined:     wo.Quarantined,
+		Degraded:        wo.Degraded,
+		Rungs:           wo.Rungs,
+		EffectivePruneK: wo.EffectivePruneK,
+	}
+}
+
+// Error kinds crossing the wire. Reconstructed errors satisfy errors.Is
+// against the matching sentinel, so exit-code mapping and ladder logic
+// behave identically on both sides of a pipe or a store record.
+const (
+	ErrKindCanceled   = "canceled"
+	ErrKindDeadline   = "deadline"
+	ErrKindNoConverge = "noconverge"
+	ErrKindInternal   = "internal"
+	ErrKindNodeLimit  = "nodelimit"
+	ErrKindOther      = "other"
+)
+
+// WireError is an error flattened for transport: its sentinel kind, the
+// pipeline stage it interrupted, and the rendered message.
+type WireError struct {
+	Kind  string `json:"kind"`
+	Stage string `json:"stage,omitempty"`
+	Msg   string `json:"msg"`
+}
+
+// ErrorToWire flattens err (nil stays nil).
+func ErrorToWire(err error) *WireError {
+	if err == nil {
+		return nil
+	}
+	kind := ErrKindOther
+	switch {
+	case errors.Is(err, resil.ErrCanceled):
+		kind = ErrKindCanceled
+	case errors.Is(err, resil.ErrDeadline):
+		kind = ErrKindDeadline
+	case errors.Is(err, resil.ErrNoConvergence):
+		kind = ErrKindNoConverge
+	case errors.Is(err, resil.ErrInternal):
+		kind = ErrKindInternal
+	case errors.Is(err, bdd.ErrNodeLimit):
+		kind = ErrKindNodeLimit
+	}
+	return &WireError{Kind: kind, Stage: resil.StageOf(err), Msg: err.Error()}
+}
+
+// remoteError is a reconstructed error: the original message with the
+// sentinel restored underneath so errors.Is keeps working.
+type remoteError struct {
+	msg  string
+	base error
+}
+
+func (e *remoteError) Error() string { return e.msg }
+func (e *remoteError) Unwrap() error { return e.base }
+
+// ToError reconstructs the error (nil stays nil).
+func (we *WireError) ToError() error {
+	if we == nil {
+		return nil
+	}
+	var base error
+	switch we.Kind {
+	case ErrKindCanceled:
+		base = resil.ErrCanceled
+	case ErrKindDeadline:
+		base = resil.ErrDeadline
+	case ErrKindNoConverge:
+		base = resil.ErrNoConvergence
+	case ErrKindInternal:
+		base = resil.ErrInternal
+	case ErrKindNodeLimit:
+		base = bdd.ErrNodeLimit
+	}
+	err := error(&remoteError{msg: we.Msg, base: base})
+	if we.Stage != "" {
+		err = &resil.StageError{Stage: we.Stage, Err: err}
+	}
+	return err
+}

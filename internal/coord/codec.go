@@ -1,179 +1,37 @@
 package coord
 
-// Pipeline codec: a worker flattens its pipelines — PFEC path metadata
-// plus one bdd.Write blob per pipeline with every predicate as a root,
-// in (source router, PFEC index) order — and the coordinator rebuilds
-// them as query-only decoded pipelines in a fresh symbolic space with
-// the identical variable layout (analysis.NewRunSpace). Decoded roots
-// are Ref'd immediately: bdd.Manager.Read hash-conses without
-// referencing, and the references must survive later GC safe points,
-// mirroring how spf.Forward references every PFEC predicate.
+// The pipeline/outcome/error codec lives in internal/analysis
+// (wire.go), shared with the persistent result store; coord keeps
+// unexported aliases so the frame structs and the worker/coordinator
+// code read unchanged.
 
 import (
-	"bytes"
-	"errors"
-	"fmt"
 	"time"
 
 	"sre/internal/analysis"
-	"sre/internal/bdd"
-	"sre/internal/config"
-	"sre/internal/obs"
-	"sre/internal/resil"
-	"sre/internal/route"
-	"sre/internal/spf"
 	"sre/internal/src"
-	"sre/internal/topology"
 )
 
-// encodePipelines serializes a prefix task's pipelines for transport.
-func encodePipelines(pipes []*analysis.Pipeline, net *config.Network) ([]wirePipeline, error) {
-	out := make([]wirePipeline, 0, len(pipes))
-	n := net.Topology.NumRouters()
-	for _, p := range pipes {
-		wp := wirePipeline{
-			SRCNanos: p.SRCTime.Nanoseconds(),
-			SPFNanos: p.SPFTime.Nanoseconds(),
-			Sources:  make([]wireSource, n),
-		}
-		if p.Scope != nil {
-			wp.Scope = p.Scope.String()
-		}
-		var roots []bdd.Node
-		for r := 0; r < n; r++ {
-			pfecs := p.PFECs(topology.RouterID(r))
-			ws := wireSource{PFECs: make([]wirePFEC, 0, len(pfecs))}
-			for _, pf := range pfecs {
-				path := make([]int32, len(pf.Path))
-				for i, h := range pf.Path {
-					path[i] = int32(h)
-				}
-				ws.PFECs = append(ws.PFECs, wirePFEC{
-					Path: path, Delivered: pf.Delivered, Looped: pf.Looped})
-				roots = append(roots, pf.Pred)
-			}
-			wp.Sources[r] = ws
-		}
-		var buf bytes.Buffer
-		if err := p.Sp.M.Write(&buf, roots...); err != nil {
-			return nil, fmt.Errorf("coord: encode pipeline: %w", err)
-		}
-		wp.BDD = buf.Bytes()
-		out = append(out, wp)
-	}
-	return out, nil
-}
+type (
+	wirePipeline = analysis.WirePipeline
+	wireSource   = analysis.WireSource
+	wirePFEC     = analysis.WirePFEC
+	wireOutcome  = analysis.WireOutcome
+	wireError    = analysis.WireError
+)
 
-// decodePipelines rebuilds a task's pipelines from the wire form. Each
-// pipeline gets its own symbolic space shaped exactly like the worker's
-// (same variable layout, node limit, interrupt hook, and telemetry from
-// opts), so downstream property queries behave identically to pipelines
-// built in-process. Any fault — a malformed blob, mismatched counts, a
-// node-limit overflow while re-consing — surfaces as an error, never a
-// panic: a corrupt result is a retryable worker failure.
-func decodePipelines(net *config.Network, opts src.Options, wps []wirePipeline, tel *obs.Telemetry) (pipes []*analysis.Pipeline, err error) {
-	defer func() {
-		if err != nil {
-			for _, p := range pipes {
-				p.Release()
-			}
-			pipes = nil
-		}
-	}()
-	defer guardDecode(&err)
-	n := net.Topology.NumRouters()
-	for _, wp := range wps {
-		var scope *route.Prefix
-		if wp.Scope != "" {
-			s, perr := route.ParsePrefix(wp.Scope)
-			if perr != nil {
-				return pipes, fmt.Errorf("coord: decode pipeline scope: %w", perr)
-			}
-			scope = &s
-		}
-		if len(wp.Sources) != n {
-			return pipes, fmt.Errorf("coord: decode pipeline: %d sources, network has %d routers", len(wp.Sources), n)
-		}
-		sp := analysis.NewRunSpace(net, opts)
-		roots, rerr := sp.M.Read(bytes.NewReader(wp.BDD))
-		if rerr != nil {
-			return pipes, fmt.Errorf("coord: decode pipeline BDDs: %w", rerr)
-		}
-		pfecs := make([][]*spf.PFEC, n)
-		next := 0
-		for r := 0; r < n; r++ {
-			list := make([]*spf.PFEC, 0, len(wp.Sources[r].PFECs))
-			for _, wpf := range wp.Sources[r].PFECs {
-				if next >= len(roots) {
-					return pipes, fmt.Errorf("coord: decode pipeline: %d predicates for more PFECs", len(roots))
-				}
-				if len(wpf.Path) == 0 {
-					return pipes, fmt.Errorf("coord: decode pipeline: empty PFEC path")
-				}
-				path := make([]topology.RouterID, len(wpf.Path))
-				for i, h := range wpf.Path {
-					if h < 0 || int(h) >= n {
-						return pipes, fmt.Errorf("coord: decode pipeline: router %d out of range", h)
-					}
-					path[i] = topology.RouterID(h)
-				}
-				list = append(list, &spf.PFEC{
-					Path: path, Pred: sp.M.Ref(roots[next]),
-					Delivered: wpf.Delivered, Looped: wpf.Looped})
-				next++
-			}
-			pfecs[r] = list
-		}
-		if next != len(roots) {
-			return pipes, fmt.Errorf("coord: decode pipeline: %d predicates for %d PFECs", len(roots), next)
-		}
-		pipes = append(pipes, analysis.NewDecodedPipeline(net, sp, scope, pfecs,
-			time.Duration(wp.SRCNanos), time.Duration(wp.SPFNanos), tel))
-	}
-	return pipes, nil
-}
+const errKindInternal = analysis.ErrKindInternal
 
-// guardDecode converts expected decode-time panics (BDD node-limit
-// overflow while re-consing, cooperative interruption from the space's
-// interrupt hook) into errors; anything else is a defect and re-panics.
-func guardDecode(errp *error) {
-	r := recover()
-	if r == nil {
-		return
-	}
-	if e, ok := r.(error); ok && (errors.Is(e, bdd.ErrNodeLimit) || resil.Interruption(e)) {
-		*errp = resil.Stage("coord", e)
-		return
-	}
-	panic(r)
-}
-
-// outcomeToWire / outcomeFromWire translate analysis.PrefixOutcome.
-// WorkerCrashes never crosses the wire: the coordinator owns attempt
-// accounting.
-func outcomeToWire(out analysis.PrefixOutcome) wireOutcome {
-	return wireOutcome{
-		Err:             errorToWire(out.Err),
-		Quarantined:     out.Quarantined,
-		Degraded:        out.Degraded,
-		Rungs:           out.Rungs,
-		EffectivePruneK: out.EffectivePruneK,
-	}
-}
-
-func outcomeFromWire(pfx route.Prefix, wo wireOutcome) analysis.PrefixOutcome {
-	return analysis.PrefixOutcome{
-		Prefix:          pfx,
-		Err:             wo.Err.toError(),
-		Quarantined:     wo.Quarantined,
-		Degraded:        wo.Degraded,
-		Rungs:           wo.Rungs,
-		EffectivePruneK: wo.EffectivePruneK,
-	}
-}
+var (
+	encodePipelines = analysis.EncodePipelines
+	decodePipelines = analysis.DecodePipelines
+	outcomeToWire   = analysis.OutcomeToWire
+	outcomeFromWire = analysis.OutcomeFromWire
+	errorToWire     = analysis.ErrorToWire
+)
 
 // optionsToWire extracts the transportable verification options.
-func optionsToWire(opts src.Options, ladder bool, lad analysis.LadderOptions, heartbeat time.Duration) wireOptions {
+func optionsToWire(opts src.Options, ladder bool, lad analysis.LadderOptions, heartbeat time.Duration, maxFrame int64) wireOptions {
 	return wireOptions{
 		PruneK:               opts.PruneK,
 		Abstract:             opts.Abstract,
@@ -186,6 +44,7 @@ func optionsToWire(opts src.Options, ladder bool, lad analysis.LadderOptions, he
 		Ladder:               ladder,
 		DisableBudgetHalving: lad.DisableBudgetHalving,
 		HeartbeatMS:          int(heartbeat.Milliseconds()),
+		MaxFrameBytes:        maxFrame,
 	}
 }
 

@@ -62,6 +62,17 @@ type Options struct {
 	// ParseFaultPlan); empty falls back to the SRE_FAULT environment
 	// variable. The plan is forwarded to workers via their environment.
 	FaultPlan string
+	// MaxFrameBytes bounds a frame's declared payload length on both
+	// sides of the pipe (0 = the 1 GiB default); an oversized declared
+	// length is a corrupt stream (FrameSizeError) and counts as a
+	// worker crash.
+	MaxFrameBytes int64
+	// Cache, when non-nil, is the persistent result cache: the
+	// coordinator consults it before dispatching a task (a hit skips
+	// the worker round-trip entirely) and CacheDir is shipped to
+	// workers so they consult and publish the shared store themselves.
+	Cache    *analysis.ResultCache
+	CacheDir string
 }
 
 func (o *Options) defaults() {
@@ -93,7 +104,8 @@ func (o *Options) defaults() {
 type taskState struct {
 	seq         int
 	pfx         route.Prefix
-	attempt     int // next attempt number (= failed attempts so far)
+	key         string // cache key; "" when the run carries no cache
+	attempt     int    // next attempt number (= failed attempts so far)
 	notBefore   time.Time
 	done        bool
 	quarantined bool
@@ -226,9 +238,29 @@ func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error
 		t.seq = i
 	}
 
+	// Pre-dispatch cache pass: a hit settles the task without a worker
+	// round-trip; misses carry their key so workers consult and publish
+	// the shared store themselves. Lookups run before any spawn, so a
+	// fully warm cache never forks a single child.
+	if c.opts.Cache != nil {
+		for _, t := range c.tasks {
+			t.key = analysis.CacheKey(c.net, c.opts.Verify, t.pfx, c.opts.Resilient, c.opts.Ladder)
+			pipes, out, hit, err := c.opts.Cache.Lookup(c.net, c.opts.Verify, t.key, t.pfx, c.tel)
+			if err != nil {
+				c.releaseAll()
+				return nil, err
+			}
+			if hit {
+				t.outcome, t.pipes, t.done = out, pipes, true
+			}
+		}
+	}
+
 	c.workers = make([]*workerProc, c.opts.Workers)
-	for slot := 0; slot < c.opts.Workers; slot++ {
-		c.spawn(slot, false)
+	if !c.allDone() {
+		for slot := 0; slot < c.opts.Workers; slot++ {
+			c.spawn(slot, false)
+		}
 	}
 
 	// Supervision cadence: fast enough to catch heartbeat loss promptly,
@@ -279,10 +311,23 @@ func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error
 			continue
 		}
 		crashes := t.attempt
-		pipes, out, err := analysis.RunPrefixTask(c.net, c.opts.Verify, t.pfx, c.opts.Resilient, c.opts.Ladder)
+		// The fallback consults the cache too — another process may have
+		// published the prefix since the pre-dispatch pass — and publishes
+		// the clean result before decorating it with the crash markers
+		// (decorated outcomes are never cached: they describe this run's
+		// worker fleet, not the verification result).
+		pipes, out, hit, err := c.opts.Cache.Lookup(c.net, c.opts.Verify, t.key, t.pfx, c.tel)
 		if err != nil {
 			c.releaseAll()
 			return nil, err
+		}
+		if !hit {
+			pipes, out, err = analysis.RunPrefixTask(c.net, c.opts.Verify, t.pfx, c.opts.Resilient, c.opts.Ladder)
+			if err != nil {
+				c.releaseAll()
+				return nil, err
+			}
+			c.opts.Cache.Publish(c.net, t.key, t.pfx, pipes, out, nil)
 		}
 		out.WorkerCrashes = crashes
 		out.Quarantined = true
@@ -329,15 +374,15 @@ func (c *coordinator) spawn(slot int, respawn bool) {
 
 	// The init frame can be large (the whole network text); write it off
 	// the event loop so a worker that dies at startup cannot block us.
-	init := &frame{Type: frameInit, Init: &initMsg{Network: c.netText,
-		Opts: optionsToWire(c.opts.Verify, c.opts.Resilient, c.opts.Ladder, c.opts.HeartbeatInterval)}}
+	init := &frame{Type: frameInit, Init: &initMsg{Network: c.netText, CacheDir: c.opts.CacheDir,
+		Opts: optionsToWire(c.opts.Verify, c.opts.Resilient, c.opts.Ladder, c.opts.HeartbeatInterval, c.opts.MaxFrameBytes)}}
 	go func() { _ = w.stdin.write(init) }()
 
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
 		for {
-			f, rerr := readFrame(stdout)
+			f, rerr := readFrameLimit(stdout, c.opts.MaxFrameBytes)
 			ev := event{w: w, f: f, err: rerr}
 			select {
 			case c.events <- ev:
@@ -363,7 +408,7 @@ func (c *coordinator) handleFrame(w *workerProc, f *frame) error {
 		w.ready = true
 	case frameHeartbeat:
 	case frameError:
-		return f.Err.toError()
+		return f.Err.ToError()
 	case frameResult:
 		if f.Result == nil {
 			c.workerDied(w, "bad result frame")
@@ -451,7 +496,7 @@ func (c *coordinator) assign() {
 		}
 		t.started = now
 		w.task = t
-		msg := &frame{Type: frameTask, Task: &taskMsg{Seq: t.seq, Attempt: t.attempt, Prefix: t.pfx.String()}}
+		msg := &frame{Type: frameTask, Task: &taskMsg{Seq: t.seq, Attempt: t.attempt, Prefix: t.pfx.String(), CacheKey: t.key}}
 		if err := w.stdin.write(msg); err != nil {
 			c.workerDied(w, "write failed")
 		}

@@ -18,6 +18,7 @@ import (
 	"sre/internal/obs"
 	"sre/internal/route"
 	"sre/internal/src"
+	"sre/internal/store"
 )
 
 func TestMain(m *testing.M) {
@@ -383,5 +384,182 @@ func TestParseFaultPlan(t *testing.T) {
 	}
 	if p.String() != "crash@0;stall@2#1" {
 		t.Errorf("String() = %q", p.String())
+	}
+}
+
+// TestParseFaultPlanDiskKinds pins the disk-fault half of the plan
+// syntax: the store kinds parse, are matched by DiskFault on the Put
+// index, and never leak into the per-task lookup.
+func TestParseFaultPlanDiskKinds(t *testing.T) {
+	for _, s := range []string{"torn@0", "flip@1", "enospc@2", "rename@0", "killwrite@3", "crash@0;torn@0"} {
+		if _, err := ParseFaultPlan(s); err != nil {
+			t.Errorf("ParseFaultPlan(%q): %v", s, err)
+		}
+	}
+	p, err := ParseFaultPlan("crash@0;torn@0;flip@2;killwrite@1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.at(0, 0); got != faultCrash {
+		t.Errorf("at(0,0) = %q, want crash", got)
+	}
+	for _, seq := range []int{1, 2} {
+		if got := p.at(seq, 0); got != "" {
+			t.Errorf("at(%d,0) = %q; disk kinds must not match the per-task lookup", seq, got)
+		}
+	}
+	want := map[int]string{0: store.FaultTorn, 1: store.FaultKillWrite, 2: store.FaultFlip, 3: "", 99: ""}
+	for idx, kind := range want {
+		if got := p.DiskFault(idx); got != kind {
+			t.Errorf("DiskFault(%d) = %q, want %q", idx, got, kind)
+		}
+	}
+	var nilPlan *FaultPlan
+	if got := nilPlan.DiskFault(0); got != "" {
+		t.Errorf("nil plan DiskFault = %q", got)
+	}
+}
+
+// TestCoordDiskFaultsSelfHeal drives the worker-side store through the
+// injected disk faults: a first run publishes under torn/flipped/failed
+// writes (results unaffected — a failed publish is never a failed
+// task), and a second run over the damaged store quarantines the
+// corrupt records, recomputes, and still matches the baseline.
+func TestCoordDiskFaultsSelfHeal(t *testing.T) {
+	net, prefixes := testNet(t)
+	base, err := analysis.RunPartitioned(net, testOpts(), prefixes, analysis.LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+	baseOuts, baseSweep := base.Outcomes(), sweep(t, base)
+
+	dir := t.TempDir()
+	cacheOn := func(t *testing.T) *store.Store {
+		t.Helper()
+		s, err := store.Open(dir, store.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	}
+
+	// One worker so the Put sequence is deterministic: four tasks, the
+	// first record torn on disk, the second bit-flipped, the third's
+	// rename failed (orphan temp), the fourth clean.
+	s1 := cacheOn(t)
+	part := coordRun(t, net, prefixes, Options{
+		Workers: 1, Verify: testOpts(), Resilient: true,
+		Cache: &analysis.ResultCache{S: s1}, CacheDir: dir,
+		FaultPlan: "torn@0;flip@1;rename@2",
+	})
+	if got := part.Outcomes(); !reflect.DeepEqual(got, baseOuts) {
+		t.Errorf("faulty-publish run diverges\n got %+v\nwant %+v", got, baseOuts)
+	}
+	if got := sweep(t, part); !reflect.DeepEqual(got, baseSweep) {
+		t.Errorf("faulty-publish sweep diverges")
+	}
+	part.Release()
+
+	// The damaged store must self-heal: the coordinator's pre-dispatch
+	// lookups quarantine the torn and flipped records, the missing third
+	// misses, the clean fourth hits, and the recomputed results match.
+	s2 := cacheOn(t)
+	part2 := coordRun(t, net, prefixes, Options{
+		Workers: 1, Verify: testOpts(), Resilient: true,
+		Cache: &analysis.ResultCache{S: s2}, CacheDir: dir,
+	})
+	defer part2.Release()
+	if got := part2.Outcomes(); !reflect.DeepEqual(got, baseOuts) {
+		t.Errorf("self-heal run diverges\n got %+v\nwant %+v", got, baseOuts)
+	}
+	if got := sweep(t, part2); !reflect.DeepEqual(got, baseSweep) {
+		t.Errorf("self-heal sweep diverges")
+	}
+	m := s2.Metrics()
+	if m.Quarantined != 2 {
+		t.Errorf("Quarantined = %d, want 2 (torn + flipped)", m.Quarantined)
+	}
+	if m.Hits != 1 {
+		t.Errorf("Hits = %d, want 1 (the clean record)", m.Hits)
+	}
+}
+
+// TestCoordCrashMidWrite is the crash-mid-write scenario: a worker is
+// SIGKILLed between writing a record's temp file and renaming it into
+// place. The run must converge via retry, the orphan temp must never
+// surface as a record, and a follow-up run must be fully warm.
+func TestCoordCrashMidWrite(t *testing.T) {
+	net, prefixes := testNet(t)
+	base, err := analysis.RunPartitioned(net, testOpts(), prefixes, analysis.LadderOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer base.Release()
+
+	dir := t.TempDir()
+	s1, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s1.Close()
+	// killwrite@3: the single worker publishes three records cleanly,
+	// then dies mid-publication of the fourth. The respawned worker's
+	// Put sequence restarts at 0, so the retry publishes unfaulted.
+	part := coordRun(t, net, prefixes, Options{
+		Workers: 1, Verify: testOpts(), Resilient: true,
+		Cache: &analysis.ResultCache{S: s1}, CacheDir: dir,
+		FaultPlan: "killwrite@3",
+	})
+	if got, want := normalize(part.Outcomes()), normalize(base.Outcomes()); !reflect.DeepEqual(got, want) {
+		t.Errorf("crash-mid-write outcomes diverge\n got %+v\nwant %+v", got, want)
+	}
+	crashes := 0
+	for _, o := range part.Outcomes() {
+		crashes += o.WorkerCrashes
+	}
+	if crashes == 0 {
+		t.Error("killwrite fault did not register as a worker crash")
+	}
+	part.Release()
+
+	// The interrupted publication left an orphan temp; a short-TTL
+	// Verify reaps it and finds every landed record intact.
+	s2, err := store.Open(dir, store.Options{LockTTL: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	stats, err := s2.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TempFiles == 0 {
+		t.Error("crash-mid-write left no orphan temp file")
+	}
+	rep, err := s2.Verify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Quarantined != 0 {
+		t.Errorf("Verify quarantined %d records; atomic rename must keep landed records intact", rep.Quarantined)
+	}
+	if rep.TempsReaped == 0 {
+		t.Error("Verify did not reap the orphan temp")
+	}
+
+	// Second run: fully warm — every task resolves from the store
+	// before any worker is spawned.
+	part2 := coordRun(t, net, prefixes, Options{
+		Workers: 1, Verify: testOpts(), Resilient: true,
+		Cache: &analysis.ResultCache{S: s2}, CacheDir: dir,
+	})
+	defer part2.Release()
+	if got := part2.Outcomes(); !reflect.DeepEqual(got, base.Outcomes()) {
+		t.Errorf("warm run after crash diverges\n got %+v\nwant %+v", got, base.Outcomes())
+	}
+	if m := s2.Metrics(); m.Hits != int64(len(prefixes)) {
+		t.Errorf("warm run Hits = %d, want %d", m.Hits, len(prefixes))
 	}
 }

@@ -28,6 +28,13 @@ package coord
 //	exit    — exit with status 3 without a result (a worker that died
 //	          politely)
 //
+// Disk-fault kinds (torn, flip, enospc, rename, killwrite — see
+// internal/store) ride the same syntax but are indexed by the process's
+// persistent-store Put sequence, not the task sequence: `torn@1` tears
+// the second record this process publishes. They apply only to runs
+// carrying a cache directory and are matched by FaultPlan.DiskFault,
+// never by the per-task lookup.
+//
 // The plan travels coordinator → worker via the SRE_FAULT environment
 // variable; Options.FaultPlan takes precedence over an inherited one.
 
@@ -35,6 +42,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"sre/internal/store"
 )
 
 // FaultEnv is the environment variable carrying the fault plan.
@@ -78,10 +87,12 @@ func ParseFaultPlan(s string) (*FaultPlan, error) {
 		if !ok {
 			return nil, fmt.Errorf("coord: fault entry %q missing @taskSeq", part)
 		}
-		switch kind {
-		case faultCrash, faultKill, faultStall, faultCorrupt, faultExit:
+		switch {
+		case kind == faultCrash, kind == faultKill, kind == faultStall,
+			kind == faultCorrupt, kind == faultExit:
+		case store.IsDiskFault(kind):
 		default:
-			return nil, fmt.Errorf("coord: unknown fault kind %q (want crash, kill, stall, corrupt, or exit)", kind)
+			return nil, fmt.Errorf("coord: unknown fault kind %q (want crash, kill, stall, corrupt, exit, or a disk fault: torn, flip, enospc, rename, killwrite)", kind)
 		}
 		seqStr, attemptStr, hasAttempt := strings.Cut(rest, "#")
 		seq, err := strconv.Atoi(seqStr)
@@ -112,12 +123,28 @@ func (p *FaultPlan) String() string {
 }
 
 // at returns the fault kind to inject for (task seq, attempt), or "".
+// Disk faults never match here: they are keyed by store Put index.
 func (p *FaultPlan) at(seq, attempt int) string {
 	if p == nil {
 		return ""
 	}
 	for _, e := range p.entries {
-		if e.seq == seq && e.attempt == attempt {
+		if e.seq == seq && e.attempt == attempt && !store.IsDiskFault(e.kind) {
+			return e.kind
+		}
+	}
+	return ""
+}
+
+// DiskFault returns the disk-fault kind planned for the process's
+// index-th store Put (0-based), or "". It has the store.FaultFunc
+// shape, so a plan plugs straight into store.Options.Fault.
+func (p *FaultPlan) DiskFault(index int) string {
+	if p == nil {
+		return ""
+	}
+	for _, e := range p.entries {
+		if e.seq == index && e.attempt == 0 && store.IsDiskFault(e.kind) {
 			return e.kind
 		}
 	}

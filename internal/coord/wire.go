@@ -23,14 +23,11 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"io"
 	"sync"
 
-	"sre/internal/bdd"
 	"sre/internal/obs"
-	"sre/internal/resil"
 )
 
 // Wire protocol: length-prefixed NDJSON frames over the worker's
@@ -45,10 +42,24 @@ import (
 // never a panic and never an allocation proportional to a declared
 // length that was not actually received (FuzzDecodeFrame pins this).
 
-// maxFramePayload bounds a frame's declared payload length. Serialized
-// BDDs for one prefix task are megabytes at the extreme; a declared
-// length beyond this is a corrupt stream, not a big result.
+// maxFramePayload bounds a frame's declared payload length when
+// Options.MaxFrameBytes is zero. Serialized BDDs for one prefix task
+// are megabytes at the extreme; a declared length beyond this is a
+// corrupt stream, not a big result.
 const maxFramePayload = 1 << 30
+
+// FrameSizeError reports a frame whose declared payload length exceeds
+// the configured maximum — a corrupt length prefix from the reader's
+// point of view, typed so callers tuning MaxFrameBytes can tell it from
+// other stream corruption.
+type FrameSizeError struct {
+	Declared int64
+	Max      int64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("coord: frame declares %d payload bytes, max %d", e.Declared, e.Max)
+}
 
 // Frame type discriminators.
 const (
@@ -73,11 +84,14 @@ type frame struct {
 }
 
 // initMsg configures a worker for the run: the network (the textual
-// config format, a tested fixed point of Parse∘Format) and the
-// verification options that shape results.
+// config format, a tested fixed point of Parse∘Format), the
+// verification options that shape results, and — when the run carries a
+// persistent result cache — the store directory the worker should
+// consult and publish to.
 type initMsg struct {
-	Network string      `json:"network"`
-	Opts    wireOptions `json:"opts"`
+	Network  string      `json:"network"`
+	Opts     wireOptions `json:"opts"`
+	CacheDir string      `json:"cache_dir,omitempty"`
 }
 
 // wireOptions is the transportable subset of src.Options plus the
@@ -92,9 +106,10 @@ type wireOptions struct {
 	MaxIterations        int  `json:"max_iterations,omitempty"`
 	BDDNodeLimit         int  `json:"bdd_node_limit,omitempty"`
 	LegacyKernel         bool `json:"legacy_kernel,omitempty"`
-	Ladder               bool `json:"ladder,omitempty"`
-	DisableBudgetHalving bool `json:"disable_budget_halving,omitempty"`
-	HeartbeatMS          int  `json:"heartbeat_ms,omitempty"`
+	Ladder               bool  `json:"ladder,omitempty"`
+	DisableBudgetHalving bool  `json:"disable_budget_halving,omitempty"`
+	HeartbeatMS          int   `json:"heartbeat_ms,omitempty"`
+	MaxFrameBytes        int64 `json:"max_frame_bytes,omitempty"`
 }
 
 // taskMsg assigns one prefix task. Seq is the task's index in the
@@ -105,6 +120,10 @@ type taskMsg struct {
 	Seq     int    `json:"seq"`
 	Attempt int    `json:"attempt"`
 	Prefix  string `json:"prefix"`
+	// CacheKey is the prefix's persistent-store content address; the
+	// worker consults the shared store under it on a first attempt and
+	// publishes the computed result back. Empty disables caching.
+	CacheKey string `json:"cache_key,omitempty"`
 }
 
 type helloMsg struct {
@@ -121,109 +140,10 @@ type taskResult struct {
 	Telemetry *obs.Wire      `json:"telemetry,omitempty"`
 }
 
-// wireOutcome is analysis.PrefixOutcome in transportable form.
-type wireOutcome struct {
-	Err             *wireError `json:"err,omitempty"`
-	Quarantined     bool       `json:"quarantined,omitempty"`
-	Degraded        bool       `json:"degraded,omitempty"`
-	Rungs           []string   `json:"rungs,omitempty"`
-	EffectivePruneK int        `json:"effective_prune_k"`
-}
-
-// wirePipeline is one serialized pipeline: per-source PFEC metadata
-// plus a single bdd.Write blob holding every predicate, roots in
-// (source router, PFEC index) order.
-type wirePipeline struct {
-	Scope    string       `json:"scope,omitempty"`
-	SRCNanos int64        `json:"src_ns"`
-	SPFNanos int64        `json:"spf_ns"`
-	Sources  []wireSource `json:"sources"`
-	BDD      []byte       `json:"bdd"`
-}
-
-type wireSource struct {
-	PFECs []wirePFEC `json:"pfecs,omitempty"`
-}
-
-type wirePFEC struct {
-	Path      []int32 `json:"path"`
-	Delivered bool    `json:"delivered,omitempty"`
-	Looped    bool    `json:"looped,omitempty"`
-}
-
-// Error kinds crossing the wire. Reconstructed errors satisfy errors.Is
-// against the matching sentinel, so exit-code mapping and ladder logic
-// behave identically on both sides of the pipe.
-const (
-	errKindCanceled   = "canceled"
-	errKindDeadline   = "deadline"
-	errKindNoConverge = "noconverge"
-	errKindInternal   = "internal"
-	errKindNodeLimit  = "nodelimit"
-	errKindOther      = "other"
-)
-
-// wireError is an error flattened for transport: its sentinel kind, the
-// pipeline stage it interrupted, and the rendered message.
-type wireError struct {
-	Kind  string `json:"kind"`
-	Stage string `json:"stage,omitempty"`
-	Msg   string `json:"msg"`
-}
-
-func errorToWire(err error) *wireError {
-	if err == nil {
-		return nil
-	}
-	kind := errKindOther
-	switch {
-	case errors.Is(err, resil.ErrCanceled):
-		kind = errKindCanceled
-	case errors.Is(err, resil.ErrDeadline):
-		kind = errKindDeadline
-	case errors.Is(err, resil.ErrNoConvergence):
-		kind = errKindNoConverge
-	case errors.Is(err, resil.ErrInternal):
-		kind = errKindInternal
-	case errors.Is(err, bdd.ErrNodeLimit):
-		kind = errKindNodeLimit
-	}
-	return &wireError{Kind: kind, Stage: resil.StageOf(err), Msg: err.Error()}
-}
-
-// remoteError is a reconstructed worker error: the original message
-// with the sentinel restored underneath so errors.Is keeps working.
-type remoteError struct {
-	msg  string
-	base error
-}
-
-func (e *remoteError) Error() string { return e.msg }
-func (e *remoteError) Unwrap() error { return e.base }
-
-func (we *wireError) toError() error {
-	if we == nil {
-		return nil
-	}
-	var base error
-	switch we.Kind {
-	case errKindCanceled:
-		base = resil.ErrCanceled
-	case errKindDeadline:
-		base = resil.ErrDeadline
-	case errKindNoConverge:
-		base = resil.ErrNoConvergence
-	case errKindInternal:
-		base = resil.ErrInternal
-	case errKindNodeLimit:
-		base = bdd.ErrNodeLimit
-	}
-	err := error(&remoteError{msg: we.Msg, base: base})
-	if we.Stage != "" {
-		err = &resil.StageError{Stage: we.Stage, Err: err}
-	}
-	return err
-}
+// The wire forms of outcomes, pipelines, and errors are defined in
+// internal/analysis (wire.go) and aliased in codec.go: the persistent
+// result store shares them as its record payload, so one codec serves
+// both the pipe and the disk.
 
 // frameWriter serializes frames onto one pipe. The mutex lets the
 // worker's heartbeat goroutine interleave with result writes without
@@ -250,19 +170,31 @@ func (fw *frameWriter) write(f *frame) error {
 	return err
 }
 
-// readFrame decodes one frame from r. It is total over arbitrary byte
-// streams: torn length prefixes, truncated payloads, oversized declared
-// lengths, and invalid JSON all return errors. The payload is read
-// incrementally (never pre-allocated at the declared length), so a
-// hostile length field cannot balloon memory.
+// readFrame decodes one frame from r under the default size cap.
 func readFrame(r io.Reader) (*frame, error) {
+	return readFrameLimit(r, 0)
+}
+
+// readFrameLimit decodes one frame from r, bounding the declared
+// payload length by max (0 = maxFramePayload). It is total over
+// arbitrary byte streams: torn length prefixes, truncated payloads,
+// oversized declared lengths, and invalid JSON all return errors. The
+// payload is read incrementally (never pre-allocated at the declared
+// length), so a hostile length field cannot balloon memory.
+func readFrameLimit(r io.Reader, max int64) (*frame, error) {
+	if max <= 0 {
+		max = maxFramePayload
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[:])
-	if n == 0 || n > maxFramePayload {
-		return nil, fmt.Errorf("coord: frame length %d out of range", n)
+	if n == 0 {
+		return nil, fmt.Errorf("coord: frame length 0 out of range")
+	}
+	if int64(n) > max {
+		return nil, &FrameSizeError{Declared: int64(n), Max: max}
 	}
 	var buf bytes.Buffer
 	if _, err := io.CopyN(&buf, r, int64(n)); err != nil {

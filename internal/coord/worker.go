@@ -20,6 +20,7 @@ import (
 	"sre/internal/obs"
 	"sre/internal/route"
 	"sre/internal/src"
+	"sre/internal/store"
 )
 
 // defaultHeartbeat is the heartbeat interval when the coordinator does
@@ -62,6 +63,22 @@ func WorkerMain(stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
 	wopts := init.Init.Opts
 	opts := optionsFromWire(wopts)
 
+	// Open the shared result store when the coordinator ships one. The
+	// cache is an optimization: a store that cannot open (permissions, a
+	// dead disk) downgrades to cache-less operation, never a dead worker.
+	var cache *analysis.ResultCache
+	if dir := init.Init.CacheDir; dir != "" {
+		st, serr := store.Open(dir, store.Options{
+			MaxRecordBytes: wopts.MaxFrameBytes,
+			Fault:          plan.DiskFault,
+		})
+		if serr != nil {
+			fmt.Fprintf(stderr, "sre worker: opening result store: %v (continuing uncached)\n", serr)
+		} else {
+			cache = &analysis.ResultCache{S: st}
+		}
+	}
+
 	out := &frameWriter{w: stdout}
 	if err := out.write(&frame{Type: frameHello, Hello: &helloMsg{PID: os.Getpid()}}); err != nil {
 		return fail("writing hello: %v", err)
@@ -96,7 +113,7 @@ func WorkerMain(stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
 	}()
 
 	for {
-		f, err := readFrame(stdin)
+		f, err := readFrameLimit(stdin, wopts.MaxFrameBytes)
 		if err != nil {
 			if errors.Is(err, io.EOF) {
 				return 0 // coordinator closed our stdin: clean shutdown
@@ -113,7 +130,7 @@ func WorkerMain(stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
 			if kind := plan.at(f.Task.Seq, f.Task.Attempt); kind != "" {
 				applyFault(kind, out, &stalled)
 			}
-			res, werr := runTask(net, opts, wopts, f.Task)
+			res, werr := runTask(net, opts, wopts, f.Task, cache)
 			if werr != nil {
 				// A non-recoverable verification error: report it and keep
 				// serving; the coordinator aborts the run on its side.
@@ -131,8 +148,15 @@ func WorkerMain(stdin io.Reader, stdout io.Writer, stderr io.Writer) int {
 	}
 }
 
-// runTask executes one prefix task and serializes the result.
-func runTask(net *config.Network, opts src.Options, wopts wireOptions, task *taskMsg) (*taskResult, error) {
+// runTask executes one prefix task and serializes the result. On a
+// first attempt with a cache key, the shared store is consulted before
+// computing: a decodable record replays as the result (its telemetry
+// shard and a store.hits counter riding back to the coordinator), while
+// a corrupt one is quarantined by the lookup and recomputed here as if
+// it never existed. Retries always recompute — a cached record that
+// already failed to cross the pipe once is not worth a second attempt —
+// and every computed result is published back for the fleet.
+func runTask(net *config.Network, opts src.Options, wopts wireOptions, task *taskMsg, cache *analysis.ResultCache) (*taskResult, error) {
 	pfx, err := route.ParsePrefix(task.Prefix)
 	if err != nil {
 		return nil, fmt.Errorf("coord: task %d has bad prefix %q: %w", task.Seq, task.Prefix, err)
@@ -140,6 +164,27 @@ func runTask(net *config.Network, opts src.Options, wopts wireOptions, task *tas
 	tel := obs.New()
 	o := opts
 	o.Telemetry = tel
+	if cache != nil && task.CacheKey != "" && task.Attempt == 0 {
+		pipes, out, hit, lerr := cache.Lookup(net, o, task.CacheKey, pfx, tel)
+		if lerr == nil && hit {
+			defer func() {
+				for _, p := range pipes {
+					p.Release()
+				}
+			}()
+			wps, werr := encodePipelines(pipes, net)
+			if werr == nil {
+				tel.Counter("store.hits").Inc()
+				return &taskResult{
+					Seq:       task.Seq,
+					Prefix:    task.Prefix,
+					Outcome:   outcomeToWire(out),
+					Pipes:     wps,
+					Telemetry: tel.ExportWire(),
+				}, nil
+			}
+		}
+	}
 	pipes, out, err := analysis.RunPrefixTask(net, o, pfx, wopts.Ladder,
 		analysis.LadderOptions{DisableBudgetHalving: wopts.DisableBudgetHalving})
 	if err != nil {
@@ -154,13 +199,15 @@ func runTask(net *config.Network, opts src.Options, wopts wireOptions, task *tas
 	if err != nil {
 		return nil, err
 	}
-	return &taskResult{
+	res := &taskResult{
 		Seq:       task.Seq,
 		Prefix:    task.Prefix,
 		Outcome:   outcomeToWire(out),
 		Pipes:     wps,
 		Telemetry: tel.ExportWire(),
-	}, nil
+	}
+	cache.Publish(net, task.CacheKey, pfx, pipes, out, res.Telemetry)
+	return res, nil
 }
 
 // applyFault injects one planned fault. crash/kill/exit never return;

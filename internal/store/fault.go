@@ -1,0 +1,37 @@
+package store
+
+// Deterministic disk-fault injection, the store-side half of the
+// SRE_FAULT machinery (internal/coord parses the plan syntax and
+// exposes FaultPlan.DiskFault as a FaultFunc). Faults are keyed by the
+// zero-based index of the Put that triggers them, so recovery tests and
+// the CI crash-mid-write smoke drive exact failure points.
+const (
+	// FaultTorn persists a record truncated mid-payload — the on-disk
+	// signature of a torn write that a crash made durable.
+	FaultTorn = "torn"
+	// FaultFlip flips one bit in the payload before the record lands —
+	// silent media corruption.
+	FaultFlip = "flip"
+	// FaultENOSPC fails the Put with ENOSPC before any byte is written.
+	FaultENOSPC = "enospc"
+	// FaultRename fails the rename after the temp file is fully written
+	// and fsynced, leaving an orphan temp for GC/Verify to reap.
+	FaultRename = "rename"
+	// FaultKillWrite SIGKILLs the process between temp-write and
+	// rename — the crash-mid-write scenario the atomic-rename protocol
+	// must survive.
+	FaultKillWrite = "killwrite"
+)
+
+// FaultFunc selects the disk fault (one of the Fault* constants, or ""
+// for none) to inject on the index-th Put of a store.
+type FaultFunc func(index int) string
+
+// IsDiskFault reports whether kind names a store disk fault.
+func IsDiskFault(kind string) bool {
+	switch kind {
+	case FaultTorn, FaultFlip, FaultENOSPC, FaultRename, FaultKillWrite:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,29 @@
+//go:build unix
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// errNoSpace is the injected FaultENOSPC error.
+var errNoSpace error = syscall.ENOSPC
+
+// pidAlive probes whether pid is running via signal 0. known=false
+// means the platform could not tell (never the case on unix: EPERM
+// still proves existence).
+func pidAlive(pid int) (alive, known bool) {
+	err := syscall.Kill(pid, 0)
+	if err == nil || err == syscall.EPERM {
+		return true, true
+	}
+	return false, true
+}
+
+// killSelf delivers SIGKILL to the current process — the injected
+// crash-mid-write fault. No deferred functions, no flushes.
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	os.Exit(137)
+}

@@ -108,6 +108,11 @@ type MetricsReport struct {
 
 	BDD BDDMetrics `json:"bdd"`
 
+	// Store reports persistent result-cache traffic when the run carried
+	// one (Options.Store): hits, misses, publications, and — after
+	// corruption — quarantined record counts.
+	Store *StoreMetrics `json:"store,omitempty"`
+
 	// Telemetry is the full registry snapshot, present when the
 	// verifier ran with telemetry enabled.
 	Telemetry *TelemetryReport `json:"telemetry,omitempty"`
@@ -187,6 +192,10 @@ func (v *Verifier) Metrics() MetricsReport {
 	}
 	if total := (r.BDD.CacheHits - hitsAtGC) + (r.BDD.CacheMisses - missAtGC); total > 0 {
 		r.BDD.PostGCCacheHitRatio = float64(r.BDD.CacheHits-hitsAtGC) / float64(total)
+	}
+	if v.store != nil {
+		m := v.store.Metrics()
+		r.Store = &m
 	}
 	if v.tel != nil {
 		for _, pipe := range v.allPipes() {

@@ -169,6 +169,13 @@ type Options struct {
 	// is a kill switch and the baseline of `srebench -exp bddkernel`;
 	// results are identical either way, only throughput differs.
 	LegacyBDDKernel bool
+	// Store, when non-nil, is a persistent result cache (see OpenStore):
+	// each prefix is looked up before it is computed and published after
+	// — across in-process, parallel, and multi-process runs, which share
+	// one content-addressed key space. Results are identical with a
+	// cold, warm, or corrupted cache; Verifier.Metrics reports the
+	// traffic (including quarantined corrupt records) under Store.
+	Store *Store
 }
 
 // telemetry resolves the telemetry instance implied by the options: the
@@ -207,6 +214,9 @@ type Verifier struct {
 	// Options.Resilient (gates Outcomes; a parallel non-resilient run
 	// also sets part but has no degradation outcomes to report).
 	resilient bool
+	// store is the persistent result cache the run consulted, if any
+	// (surfaced in Metrics).
+	store *Store
 }
 
 // NewVerifier symbolically executes the network (symbolic route
@@ -217,7 +227,7 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	if err != nil {
 		return nil, err
 	}
-	v = &Verifier{net: net, tel: srcOpts.Telemetry, prefixes: prefixes}
+	v = &Verifier{net: net, tel: srcOpts.Telemetry, prefixes: prefixes, store: opts.Store}
 	defer func() {
 		if err != nil {
 			v = nil
@@ -230,12 +240,17 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	if opts.Workers > 0 {
 		v.resilient = opts.Resilient
 		domain := shardDomain(net, prefixes)
-		part, perr := coord.Run(net, domain, coord.Options{
+		copts := coord.Options{
 			Workers:   opts.Workers,
 			Verify:    srcOpts,
 			Resilient: opts.Resilient,
 			FaultPlan: opts.FaultPlan,
-		})
+		}
+		if opts.Store != nil {
+			copts.Cache = opts.Store.cache()
+			copts.CacheDir = opts.Store.Dir()
+		}
+		part, perr := coord.Run(net, domain, copts)
 		if perr != nil {
 			return nil, perr
 		}
@@ -248,7 +263,7 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 		if len(domain) == 0 {
 			domain = net.AllPrefixes()
 		}
-		part, perr := analysis.RunPartitioned(net, srcOpts, domain, analysis.LadderOptions{})
+		part, perr := analysis.RunPartitionedCached(net, srcOpts, domain, analysis.LadderOptions{}, opts.Store.cache())
 		if perr != nil {
 			return nil, perr
 		}
@@ -257,9 +272,10 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	}
 	// A parallel regular run shards the domain into per-prefix scoped
 	// pipelines on the worker pool; any error aborts, exactly like the
-	// combined pipeline it replaces.
-	if domain := shardDomain(net, prefixes); len(domain) > 1 && analysis.Workers(srcOpts) > 1 {
-		part, perr := analysis.RunSharded(net, srcOpts, domain, analysis.Workers(srcOpts))
+	// combined pipeline it replaces. A store forces the sharded path at
+	// any parallelism: the cache's unit is the prefix task.
+	if domain := shardDomain(net, prefixes); len(domain) > 0 && (len(domain) > 1 && analysis.Workers(srcOpts) > 1 || opts.Store != nil) {
+		part, perr := analysis.RunShardedCached(net, srcOpts, domain, analysis.Workers(srcOpts), opts.Store.cache())
 		if perr != nil {
 			return nil, perr
 		}
