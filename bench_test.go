@@ -306,7 +306,7 @@ func BenchmarkFig11_Scalability(b *testing.B) {
 		b.Run(fmt.Sprintf("nodes=%d", workload.FatTreeNodes(arity)), func(b *testing.B) {
 			var peak int
 			for i := 0; i < b.N; i++ {
-				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
+				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0, nil)
 				pipe, err := analysis.RunWithSpace(net, sp, src.Options{PruneK: 1, Abstract: true})
 				if err != nil {
 					b.Fatal(err)

@@ -1,8 +1,10 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"os"
 	"sort"
 	"strings"
 	"time"
@@ -47,12 +49,14 @@ func bddKernelExp(sc scale) {
 		var legacySig, newSig string
 		var legacyErr, newErr error
 		var legacyCell, newCell bddKernelResult
+		// The kernel comparison pins declaration order on both sides so
+		// its goldens stay comparable to pre-order-sweep baselines.
 		ct.run("legacy", func() {
-			legacyCell = bddKernelCell(w.arity, w.k, w.nodeLimit, true)
+			legacyCell = bddKernelCell(w.arity, w.k, w.nodeLimit, true, "declaration")
 			legacySec, legacySig, legacyErr = legacyCell.seconds, legacyCell.sig, legacyCell.err
 		})
 		ct.run("overhauled", func() {
-			newCell = bddKernelCell(w.arity, w.k, w.nodeLimit, false)
+			newCell = bddKernelCell(w.arity, w.k, w.nodeLimit, false, "declaration")
 			newSec, newSig, newErr = newCell.seconds, newCell.sig, newCell.err
 		})
 		outcome := func(err error) string {
@@ -68,11 +72,13 @@ func bddKernelExp(sc scale) {
 		}
 		record(benchRow{Experiment: "bddkernel", Dataset: w.name, System: "legacy",
 			K: w.k, Seconds: legacySec, Parallelism: 1,
-			PeakBDDNodes: legacyCell.peakNodes, CacheHitRatio: legacyCell.hitRatio,
+			PeakBDDNodes: legacyCell.peakNodes, TotalBDDNodes: legacyCell.liveNodes,
+			CacheHitRatio: legacyCell.hitRatio,
 			GCRuns: legacyCell.gcRuns, Outcome: outcome(legacyErr)})
 		record(benchRow{Experiment: "bddkernel", Dataset: w.name, System: "overhauled",
 			K: w.k, Seconds: newSec, Parallelism: 1,
-			PeakBDDNodes: newCell.peakNodes, CacheHitRatio: newCell.hitRatio,
+			PeakBDDNodes: newCell.peakNodes, TotalBDDNodes: newCell.liveNodes,
+			CacheHitRatio: newCell.hitRatio,
 			GCRuns: newCell.gcRuns, Speedup: speedup, ResultsIdentical: identical,
 			Outcome: outcome(newErr)})
 		if legacyErr != nil {
@@ -85,6 +91,119 @@ func bddKernelExp(sc scale) {
 			speedup, identical, newCell.postGCHit*100)
 	}
 	t.print()
+	bddOrderSweep(sc)
+}
+
+// bddOrderSweep measures the variable-order tentpole: the same
+// verification and analysis sweep on the flat kernel under every
+// ordering method, unconstrained (a node limit caps PeakNodes at the
+// limit, hiding exactly the differences the sweep exists to surface).
+// Result signatures are cross-checked against declaration order —
+// orders relocate variables, they must never move an answer — and peak
+// and final live node counts are recorded per order.
+//
+// With -order-baseline set, the sweep doubles as a regression gate: the
+// auto order must stay within 10% of the baseline file's auto peak node
+// count per dataset, and within 10% of this run's declaration order.
+func bddOrderSweep(sc scale) {
+	header("BDD variable order — peak/total nodes per order, parallelism 1")
+	type wl struct {
+		name  string
+		arity int
+		k     int
+	}
+	wls := []wl{
+		{"FatTree(4) k=2 unconstrained", 4, 2},
+		{"FatTree(6) k=1 unconstrained", 6, 1},
+	}
+	orders := []string{"declaration", "bfs", "mindeg", "auto"}
+	t := newTable("dataset", "order", "time", "peak nodes", "total nodes", "identical")
+	ct := newCellTimer()
+	for _, w := range wls {
+		var declSig string
+		var declSec float64
+		var declPeak, autoPeak int
+		for _, ord := range orders {
+			var cell bddKernelResult
+			ct.run("order:"+ord, func() {
+				cell = bddKernelCell(w.arity, w.k, 0, false, ord)
+			})
+			identical := cell.err == nil && (ord == "declaration" || cell.sig == declSig)
+			speedup := 0.0
+			switch {
+			case ord == "declaration":
+				declSig, declSec, declPeak = cell.sig, cell.seconds, cell.peakNodes
+			case cell.err == nil && cell.seconds > 0:
+				speedup = declSec / cell.seconds
+			}
+			if ord == "auto" {
+				autoPeak = cell.peakNodes
+			}
+			outcome := "ok"
+			if cell.err != nil {
+				outcome = "error"
+				fmt.Printf("  %s %s: %v\n", w.name, ord, cell.err)
+			} else if !identical {
+				outcome = "mismatch"
+				gateFailed = true
+				fmt.Printf("  %s %s: RESULT SIGNATURE DIVERGES FROM DECLARATION ORDER\n", w.name, ord)
+			}
+			record(benchRow{Experiment: "bddkernel", Dataset: w.name,
+				System: "order:" + ord, K: w.k, Seconds: cell.seconds, Parallelism: 1,
+				PeakBDDNodes: cell.peakNodes, TotalBDDNodes: cell.liveNodes,
+				CacheHitRatio: cell.hitRatio, GCRuns: cell.gcRuns,
+				Speedup: speedup, ResultsIdentical: identical, Outcome: outcome})
+			t.addf("%s|%s|%.2fs|%d|%d|%v", w.name, ord, cell.seconds,
+				cell.peakNodes, cell.liveNodes, identical)
+		}
+		gateOrderPeaks(w.name, declPeak, autoPeak)
+	}
+	t.print()
+}
+
+// gateOrderPeaks enforces the -order-baseline regression gate for one
+// dataset's sweep.
+func gateOrderPeaks(dataset string, declPeak, autoPeak int) {
+	if autoPeak > declPeak+declPeak/10 {
+		fmt.Printf("  GATE: %s auto peak %d exceeds declaration %d by >10%%\n",
+			dataset, autoPeak, declPeak)
+		gateFailed = true
+	}
+	if *orderBaseline == "" {
+		return
+	}
+	base, err := loadBaselineRows(*orderBaseline)
+	if err != nil {
+		fmt.Printf("  GATE: cannot read -order-baseline: %v\n", err)
+		gateFailed = true
+		return
+	}
+	for _, r := range base {
+		if r.Experiment == "bddkernel" && r.Dataset == dataset &&
+			r.System == "order:auto" && r.PeakBDDNodes > 0 {
+			if autoPeak > r.PeakBDDNodes+r.PeakBDDNodes/10 {
+				fmt.Printf("  GATE: %s auto peak %d regresses >10%% vs baseline %d\n",
+					dataset, autoPeak, r.PeakBDDNodes)
+				gateFailed = true
+			}
+			return
+		}
+	}
+	// A baseline without auto rows for this dataset gates nothing —
+	// the first recording run bootstraps it.
+}
+
+// loadBaselineRows reads a committed BENCH_*.json row array.
+func loadBaselineRows(path string) ([]benchRow, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []benchRow
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
 }
 
 // bddKernelResult is one measured kernel cell.
@@ -92,6 +211,7 @@ type bddKernelResult struct {
 	seconds   float64
 	sig       string
 	peakNodes int
+	liveNodes int
 	hitRatio  float64
 	postGCHit float64
 	gcRuns    int
@@ -103,10 +223,11 @@ type bddKernelResult struct {
 // shortest witness paths per PFEC), failure tolerances, and property
 // probabilities — on one kernel. Everything the signature hashes is
 // deterministic at parallelism 1.
-func bddKernelCell(arity, k, nodeLimit int, legacy bool) bddKernelResult {
+func bddKernelCell(arity, k, nodeLimit int, legacy bool, varOrder string) bddKernelResult {
 	net := workload.FatTree(arity, workload.BGP)
 	opts := sre.Options{MaxFailures: k, BDDNodeLimit: nodeLimit,
-		Parallelism: 1, LegacyBDDKernel: legacy, Timeout: *deadline}
+		Parallelism: 1, LegacyBDDKernel: legacy, VarOrder: varOrder,
+		Timeout: *deadline}
 	start := time.Now()
 	v, err := sre.NewVerifier(net, opts)
 	if err != nil {
@@ -158,6 +279,7 @@ func bddKernelCell(arity, k, nodeLimit int, legacy bool) bddKernelResult {
 		seconds:   sec,
 		sig:       strings.Join(lines, ";"),
 		peakNodes: met.BDD.PeakNodes,
+		liveNodes: met.BDD.LiveNodes,
 		hitRatio:  met.BDD.CacheHitRatio,
 		postGCHit: met.BDD.PostGCCacheHitRatio,
 		gcRuns:    met.BDD.GCRuns,

@@ -122,7 +122,7 @@ func fmtReduction(n int, err error, base int, baseErr error) string {
 
 // countRoutes runs SRC alone and returns the number of routes imported.
 func countRoutes(net *workloadNet, pruneK int, abstract bool, prefixes []route0, nodeLimit int) (int, error) {
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{NodeLimit: nodeLimit}, 0)
+	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{NodeLimit: nodeLimit}, 0, nil)
 	eng := src.NewWithSpace(net, sp, withResilience(src.Options{PruneK: pruneK, Abstract: abstract, Prefixes: prefixes}))
 	if err := eng.Run(); err != nil {
 		if errors.Is(err, bdd.ErrNodeLimit) {
@@ -138,7 +138,7 @@ func countRoutes(net *workloadNet, pruneK int, abstract bool, prefixes []route0,
 // limit" outcome for the NoOpt column.
 func countRoutesNoGC(net *workloadNet, nodeLimit int) (int, error) {
 	sp := symbol.NewSpace(net.Topology.NumLinks(),
-		bdd.Config{NodeLimit: nodeLimit, DisableGC: true}, 0)
+		bdd.Config{NodeLimit: nodeLimit, DisableGC: true}, 0, nil)
 	eng := src.NewWithSpace(net, sp, withResilience(src.Options{PruneK: -1}))
 	if err := eng.Run(); err != nil {
 		if errors.Is(err, bdd.ErrNodeLimit) {
@@ -176,7 +176,7 @@ func fig11(sc scale) {
 			var st bdd.Stats
 			var errOut error
 			cell, dur := ct.runTimed("ft"+name, func() {
-				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
+				sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0, nil)
 				pipe, err := analysis.RunWithSpace(net, sp, withResilience(src.Options{PruneK: k, Abstract: true}))
 				if err != nil {
 					errOut = err

@@ -46,6 +46,10 @@ var (
 	topK        = flag.Int("topk", 10, "rows shown in the -compare delta table")
 	minDelta    = flag.Duration("mindelta", 10*time.Millisecond, "absolute slowdown below this never fails -compare (noise floor)")
 	allowEnvMis = flag.Bool("allow-env-mismatch", false, "downgrade -compare environment mismatches from a refusal (exit 2) to a warning")
+
+	// Variable-order gate (bddkernel experiment): compare the auto
+	// order's peak node counts against a committed baseline file.
+	orderBaseline = flag.String("order-baseline", "", "path to a committed BENCH_bddkernel.json; the bddkernel experiment's order sweep then fails (exit 1) when the auto order's peak node count regresses more than 10% against the baseline's auto rows, or when auto regresses more than 10% against this run's declaration order")
 )
 
 // withResilience arms the -deadline budget on engine options. Each call
@@ -64,6 +68,7 @@ type benchRow struct {
 	K             int     `json:"k"`
 	Seconds       float64 `json:"seconds"`
 	PeakBDDNodes  int     `json:"peak_bdd_nodes,omitempty"`
+	TotalBDDNodes int     `json:"total_bdd_nodes,omitempty"`
 	CacheHitRatio float64 `json:"cache_hit_ratio,omitempty"`
 	GCRuns        int     `json:"gc_runs,omitempty"`
 	// Parallelism/Cores/Speedup/ResultsIdentical are set by the
@@ -168,6 +173,7 @@ func main() {
 			exps[name](sc)
 			flushBench(name)
 		}
+		exitIfGateFailed()
 		return
 	}
 	f, ok := exps[*expFlag]
@@ -177,6 +183,19 @@ func main() {
 	}
 	f(sc)
 	flushBench(*expFlag)
+	exitIfGateFailed()
+}
+
+// gateFailed is set by experiments that enforce a pass/fail criterion
+// (the bddkernel order gate); main turns it into exit status 1 after
+// all tables and metrics have been written.
+var gateFailed bool
+
+func exitIfGateFailed() {
+	if gateFailed {
+		fmt.Fprintln(os.Stderr, "srebench: gate failed")
+		os.Exit(1)
+	}
 }
 
 // header prints an experiment banner.

@@ -70,12 +70,14 @@ func Run(net *config.Network, opts src.Options) (*Pipeline, error) {
 }
 
 // newRunSpace allocates the symbolic space Run (and RunScoped) builds
-// pipelines over, honoring the node limit and interrupt hook of opts.
+// pipelines over, honoring the node limit, interrupt hook, and link
+// variable order of opts.
 func newRunSpace(net *config.Network, opts src.Options) *symbol.Space {
 	return symbol.NewSpace(net.Topology.NumLinks(),
 		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
 			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel},
-		net.Topology.NumRouters()+MaxRiskGroups)
+		net.Topology.NumRouters()+MaxRiskGroups,
+		src.LinkOrder(net, opts).Perm)
 }
 
 // RunWithSpace is Run with a caller-provided symbolic space.

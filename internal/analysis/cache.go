@@ -55,6 +55,10 @@ func CacheKey(net *config.Network, opts src.Options, pfx route.Prefix, ladder bo
 		kernel = "legacy"
 	}
 	fmt.Fprintf(h, "kernel=%s\n", kernel)
+	// The resolved variable order (never "auto": auto resolves to a
+	// concrete order per topology) shapes every serialized BDD, so a
+	// record produced under one order must be a clean miss under another.
+	fmt.Fprintf(h, "order=%s\n", src.LinkOrder(net, opts).ID())
 	fmt.Fprintf(h, "prune_k=%d abstract=%t no_ecmp=%t ibgp=%t max_hops=%d max_iter=%d node_limit=%d\n",
 		opts.PruneK, opts.Abstract, opts.NoECMP, opts.IBGPFullMesh,
 		opts.MaxHops, opts.MaxIterations, opts.BDDNodeLimit)

@@ -44,6 +44,11 @@ func TestCacheKeySensitivity(t *testing.T) {
 		"ladder":    CacheKey(net, src.Options{PruneK: 2}, pfx, false, LadderOptions{}),
 		"halving":   CacheKey(net, src.Options{PruneK: 2}, pfx, true, LadderOptions{DisableBudgetHalving: true}),
 		"prefix":    CacheKey(net, src.Options{PruneK: 2}, route.MustParsePrefix("192.0.0.0/2"), true, LadderOptions{}),
+		// Keys embed the RESOLVED order ID — on this triangle the
+		// default "auto" resolves to declaration, so explicit bfs and
+		// mindeg must both move the key (and differ from each other).
+		"order_bfs":    CacheKey(net, src.Options{PruneK: 2, VarOrder: "bfs"}, pfx, true, LadderOptions{}),
+		"order_mindeg": CacheKey(net, src.Options{PruneK: 2, VarOrder: "mindeg"}, pfx, true, LadderOptions{}),
 	}
 	seen := map[string]string{base: "base"}
 	for name, k := range variants {

@@ -4,7 +4,6 @@ import (
 	"sre/internal/bdd"
 	"sre/internal/prob"
 	"sre/internal/route"
-	"sre/internal/symbol"
 	"sre/internal/topology"
 )
 
@@ -85,8 +84,11 @@ func DiffReachability(before, after *Pipeline, model *prob.LinkModel) []Differen
 			}
 			if assign, ok := m.AnySat(witness); ok {
 				for v, val := range assign {
-					if v >= symbol.HeaderBits && !val { // a link assigned down
-						d.WitnessDownLinks = append(d.WitnessDownLinks, topology.LinkID(v-symbol.HeaderBits))
+					// Decode through the space's order permutation, and
+					// only for actual link variables (node/risk variables
+					// are not failure witnesses).
+					if l, isLink := after.Sp.LinkOfVar(v); isLink && !val {
+						d.WitnessDownLinks = append(d.WitnessDownLinks, l)
 					}
 				}
 			}
@@ -117,9 +119,9 @@ func DiffReachability(before, after *Pipeline, model *prob.LinkModel) []Differen
 }
 
 // transplantReach rebuilds the "before" reach property BDD inside the
-// "after" pipeline's symbolic space. Both spaces index header bits and
-// links identically (same topology), so the BDD is reconstructed from
-// the before-PFECs' paths by re-encoding each predicate.
+// "after" pipeline's symbolic space. Both spaces cover the same
+// topology; copyBDD re-encodes each predicate, translating link
+// variables through the spaces' order permutations.
 func transplantReach(before, after *Pipeline, s topology.RouterID, pfx route.Prefix) bdd.Node {
 	// When the two pipelines share one space the before property can be
 	// used directly.
@@ -218,6 +220,11 @@ func copyBDD(before, after *Pipeline, n bdd.Node) bdd.Node {
 			return r
 		}
 		v := mb.Level(x)
+		// Translate link variables through the two spaces' order
+		// permutations; header and node/risk variables share indices.
+		if l, isLink := before.Sp.LinkOfVar(v); isLink {
+			v = after.Sp.LinkVarIndex(l)
+		}
 		r := ma.Ite(ma.Var(v), rec(mb.High(x)), rec(mb.Low(x)))
 		memo[x] = r
 		return r

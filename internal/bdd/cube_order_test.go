@@ -1,0 +1,91 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSortedVarOrderWideShuffled pins the slices.SortFunc-based
+// sortedVarOrder on inputs the old insertion sort never saw in tests:
+// wide cubes (thousands of literals) in shuffled order, with duplicate
+// variables of both agreeing and conflicting polarity.
+func TestSortedVarOrderWideShuffled(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	const width = 2000
+	m := New(Config{Vars: width})
+
+	vars := make([]int, width)
+	values := make([]bool, width)
+	for i := range vars {
+		vars[i] = i
+		values[i] = i%3 == 0
+	}
+	r.Shuffle(width, func(i, j int) {
+		vars[i], vars[j] = vars[j], vars[i]
+		values[i], values[j] = values[j], values[i]
+	})
+	got := m.Cube(vars, values)
+	// Reference: build the same cube from pre-sorted literals.
+	sortedVals := make([]bool, width)
+	for i := range vars {
+		sortedVals[vars[i]] = values[i]
+	}
+	sortedVars := make([]int, width)
+	for i := range sortedVars {
+		sortedVars[i] = i
+	}
+	if want := m.Cube(sortedVars, sortedVals); got != want {
+		t.Fatal("shuffled wide cube differs from sorted construction")
+	}
+
+	// Agreeing duplicates are redundant; conflicting duplicates empty
+	// the cube — regardless of where the copies land after shuffling.
+	dupVars := append(append([]int{}, vars...), vars[width/2], vars[width/4])
+	dupVals := append(append([]bool{}, values...), values[width/2], values[width/4])
+	if m.Cube(dupVars, dupVals) != got {
+		t.Fatal("agreeing duplicate literals changed the cube")
+	}
+	dupVals[len(dupVals)-1] = !dupVals[len(dupVals)-1]
+	if m.Cube(dupVars, dupVals) != False {
+		t.Fatal("conflicting duplicate literals must give False")
+	}
+
+	// CubeVars over the shuffled list must equal the sorted varset.
+	if m.CubeVars(vars) != m.CubeVars(sortedVars) {
+		t.Fatal("CubeVars order-dependent")
+	}
+}
+
+// BenchmarkCubeWide measures Cube over wide reverse-ordered literal
+// lists — the worst case for the former O(n²) insertion sort in
+// sortedVarOrder. With sort-based ordering the per-literal cost must
+// stay near-constant as width grows (no quadratic penalty).
+func BenchmarkCubeWide(b *testing.B) {
+	for _, width := range []int{64, 512, 4096} {
+		b.Run(sizeName(width), func(b *testing.B) {
+			m := New(Config{Vars: width})
+			vars := make([]int, width)
+			values := make([]bool, width)
+			for i := range vars {
+				vars[i] = width - 1 - i // reverse order: max inversions
+				values[i] = i%2 == 0
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Cube(vars, values)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	switch n {
+	case 64:
+		return "w64"
+	case 512:
+		return "w512"
+	default:
+		return "w4096"
+	}
+}

@@ -1,5 +1,10 @@
 package bdd
 
+import (
+	"cmp"
+	"slices"
+)
+
 // Operation codes for the shared operation cache. Every op packs its
 // key into the (f, g, h) fields with a packing of its own: ops whose
 // keys are pure node-handle triples (apply, Not, Ite, the quantification
@@ -547,12 +552,7 @@ func (m *Manager) supportRec(n Node, out []int) []int {
 }
 
 func sortInts(a []int) {
-	// insertion sort: supports are small
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
+	slices.Sort(a)
 }
 
 // Cube returns the conjunction of the given literals: vars[i] appears
@@ -609,16 +609,19 @@ func (m *Manager) CubeVars(vars []int) Node {
 
 // sortedVarOrder returns the indices of vars sorted by ascending
 // variable, leaving vars itself untouched (callers pass shared slices).
+// Ties break on the original index so duplicate literals stay in
+// declaration order for Cube's adjacent-duplicate polarity check.
 func sortedVarOrder(vars []int) []int {
 	order := make([]int, len(vars))
 	for i := range order {
 		order[i] = i
 	}
-	for i := 1; i < len(order); i++ {
-		for j := i; j > 0 && vars[order[j]] < vars[order[j-1]]; j-- {
-			order[j], order[j-1] = order[j-1], order[j]
+	slices.SortFunc(order, func(a, b int) int {
+		if c := cmp.Compare(vars[a], vars[b]); c != 0 {
+			return c
 		}
-	}
+		return cmp.Compare(a, b)
+	})
 	return order
 }
 

@@ -41,6 +41,7 @@ func optionsToWire(opts src.Options, ladder bool, lad analysis.LadderOptions, he
 		MaxIterations:        opts.MaxIterations,
 		BDDNodeLimit:         opts.BDDNodeLimit,
 		LegacyKernel:         opts.LegacyBDDKernel,
+		VarOrder:             opts.VarOrder,
 		Ladder:               ladder,
 		DisableBudgetHalving: lad.DisableBudgetHalving,
 		HeartbeatMS:          int(heartbeat.Milliseconds()),
@@ -60,6 +61,7 @@ func optionsFromWire(wo wireOptions) src.Options {
 		MaxIterations:   wo.MaxIterations,
 		BDDNodeLimit:    wo.BDDNodeLimit,
 		LegacyBDDKernel: wo.LegacyKernel,
+		VarOrder:        wo.VarOrder,
 		Parallelism:     1,
 	}
 }

@@ -104,8 +104,9 @@ type wireOptions struct {
 	IBGPFullMesh         bool `json:"ibgp_full_mesh,omitempty"`
 	MaxHops              int  `json:"max_hops,omitempty"`
 	MaxIterations        int  `json:"max_iterations,omitempty"`
-	BDDNodeLimit         int  `json:"bdd_node_limit,omitempty"`
-	LegacyKernel         bool `json:"legacy_kernel,omitempty"`
+	BDDNodeLimit         int    `json:"bdd_node_limit,omitempty"`
+	LegacyKernel         bool   `json:"legacy_kernel,omitempty"`
+	VarOrder             string `json:"var_order,omitempty"`
 	Ladder               bool  `json:"ladder,omitempty"`
 	DisableBudgetHalving bool  `json:"disable_budget_halving,omitempty"`
 	HeartbeatMS          int   `json:"heartbeat_ms,omitempty"`

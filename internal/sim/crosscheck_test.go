@@ -123,7 +123,12 @@ func crossCheck(t *testing.T, net *config.Network, maxDown int) {
 				if v < symbol.HeaderBits {
 					return addr&(1<<(31-v)) != 0
 				}
-				return sc.Up(topology.LinkID(v - symbol.HeaderBits))
+				// Decode through the space's variable-order permutation.
+				l, isLink := eng.Sp.LinkOfVar(v)
+				if !isLink {
+					t.Fatalf("non-link variable %d in reach BDD", v)
+				}
+				return sc.Up(l)
 			})
 			if concrete != symbolic {
 				t.Errorf("disagreement: src=%s prefix=%s down=%v concrete=%v symbolic=%v",

@@ -28,6 +28,7 @@ import (
 	"sre/internal/bdd"
 	"sre/internal/config"
 	"sre/internal/obs"
+	"sre/internal/order"
 	"sre/internal/resil"
 	"sre/internal/route"
 	"sre/internal/symbol"
@@ -81,6 +82,16 @@ type Options struct {
 	// spaces created on the engine's behalf (see bdd.Config.
 	// LegacyKernel). Results are identical; only throughput differs.
 	LegacyBDDKernel bool
+	// VarOrder selects the link-variable order of spaces created on the
+	// engine's behalf: "auto" (default; the order package picks the
+	// lowest-cost candidate per topology), "declaration" (the seed
+	// layout, link l at level 32+l), "bfs", or "mindeg" (see
+	// internal/order). Results are identical under every order — BDDs
+	// are canonical per order, and all orders answer the same queries —
+	// only BDD sizes and throughput differ. The order is part of the
+	// meaning of serialized BDDs and cache keys, so every process of a
+	// run must agree on it.
+	VarOrder string
 	// Parallelism is the worker count of the multi-prefix drivers built
 	// on top of the engine (the partitioned runner and the spec miner),
 	// which run per-prefix pipelines concurrently — each worker with
@@ -201,8 +212,20 @@ type advEntry struct {
 
 // New creates an engine over net, allocating a fresh symbolic space.
 func New(net *config.Network, opts Options) *Engine {
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0)
+	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0, LinkOrder(net, opts).Perm)
 	return NewWithSpace(net, sp, opts)
+}
+
+// LinkOrder resolves the link-variable order opts requests for net's
+// topology (see Options.VarOrder). An unknown order name panics — the
+// facade validates user input before it gets here, so a bad name is a
+// caller bug the public entry points' panic firewall will surface.
+func LinkOrder(net *config.Network, opts Options) order.Order {
+	m, err := order.Normalize(opts.VarOrder)
+	if err != nil {
+		panic(err)
+	}
+	return order.Compute(net.Topology, m)
 }
 
 // NewWithSpace creates an engine sharing an existing symbolic space

@@ -590,7 +590,7 @@ func TestConvergenceGuard(t *testing.T) {
 
 func TestNodeLimitSurfaces(t *testing.T) {
 	net := mustNet(t, figure1)
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{NodeLimit: 8, DisableGC: true}, 0)
+	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{NodeLimit: 8, DisableGC: true}, 0, nil)
 	e := NewWithSpace(net, sp, Options{PruneK: -1})
 	err := e.Run()
 	if !errors.Is(err, bdd.ErrNodeLimit) {

@@ -6,12 +6,23 @@
 // bits as the header (the paper's walkthrough and evaluation also match
 // on destination prefixes), ordered ABOVE the link variables in the BDD:
 // variable i (0 ≤ i < 32) is destination bit i counted from the most
-// significant bit, and variable 32+j is the link variable of link j
-// (true = up). Algorithm 2's Extract depends on this ordering: splitting
-// a property BDD at level 32 decouples packet BDDs from topology BDDs.
+// significant bit, and the link variables occupy levels 32..32+links-1
+// (true = up). Algorithm 2's Extract depends on this split: splitting a
+// property BDD at level 32 decouples packet BDDs from topology BDDs.
+//
+// WITHIN the link band the layout is a permutation chosen at space
+// construction (internal/order computes topology-aware ones): link j
+// sits at level 32+perm[j], defaulting to declaration order (perm[j] =
+// j). The permutation changes only which level a link occupies — the
+// set of link levels, and therefore every quantifier cube and the
+// at-most-k filter, is unchanged — but it is part of the meaning of any
+// serialized BDD, so producers and consumers must build their spaces
+// from the same order.
 package symbol
 
 import (
+	"fmt"
+
 	"sre/internal/bdd"
 	"sre/internal/route"
 	"sre/internal/topology"
@@ -28,6 +39,11 @@ type Space struct {
 	prefixCache map[route.Prefix]bdd.Node
 	allLinkVars []int
 
+	// perm maps LinkID → level offset within the link band (nil =
+	// identity / declaration order); inv is its inverse, for decoding
+	// witness assignments back into links.
+	perm, inv []int
+
 	// Hash-consed quantifier cubes, built lazily and kept Ref'd so they
 	// survive GC: headerCube spans the header bits, nonHeaderCube spans
 	// the link (and node) variables. Keying the op cache on these shared
@@ -40,12 +56,32 @@ type Space struct {
 // NewSpace creates a symbolic space for a topology with the given number
 // of links. extraVars reserves additional variables after the link
 // variables (used for node-failure variables in probabilistic analysis).
-func NewSpace(links int, cfg bdd.Config, extraVars int) *Space {
+// perm, when non-nil, is the link variable order — a permutation of
+// [0, links) placing link l at level HeaderBits+perm[l] (see
+// internal/order); nil keeps declaration order. An invalid permutation
+// panics: it would silently scramble every BDD the space builds.
+func NewSpace(links int, cfg bdd.Config, extraVars int, perm []int) *Space {
 	cfg.Vars = HeaderBits + links + extraVars
 	s := &Space{
 		M:           bdd.New(cfg),
 		Links:       links,
 		prefixCache: make(map[route.Prefix]bdd.Node),
+	}
+	if perm != nil {
+		if len(perm) != links {
+			panic(fmt.Sprintf("symbol: order permutation covers %d links, topology has %d", len(perm), links))
+		}
+		s.perm = perm
+		s.inv = make([]int, links)
+		for i := range s.inv {
+			s.inv[i] = -1
+		}
+		for l, lev := range perm {
+			if lev < 0 || lev >= links || s.inv[lev] != -1 {
+				panic(fmt.Sprintf("symbol: order permutation is not a bijection at link %d → level %d", l, lev))
+			}
+			s.inv[lev] = l
+		}
 	}
 	s.allLinkVars = make([]int, links)
 	for i := range s.allLinkVars {
@@ -55,7 +91,25 @@ func NewSpace(links int, cfg bdd.Config, extraVars int) *Space {
 }
 
 // LinkVarIndex returns the BDD variable index of link l.
-func (s *Space) LinkVarIndex(l topology.LinkID) int { return HeaderBits + int(l) }
+func (s *Space) LinkVarIndex(l topology.LinkID) int {
+	if s.perm == nil {
+		return HeaderBits + int(l)
+	}
+	return HeaderBits + s.perm[l]
+}
+
+// LinkOfVar inverts LinkVarIndex: the link whose variable is v, or
+// false when v is not a link variable (a header, node, or risk-group
+// variable).
+func (s *Space) LinkOfVar(v int) (topology.LinkID, bool) {
+	if v < HeaderBits || v >= HeaderBits+s.Links {
+		return 0, false
+	}
+	if s.inv == nil {
+		return topology.LinkID(v - HeaderBits), true
+	}
+	return topology.LinkID(s.inv[v-HeaderBits]), true
+}
 
 // LinkVar returns the BDD "link l is up".
 func (s *Space) LinkVar(l topology.LinkID) bdd.Node {

@@ -9,7 +9,7 @@ import (
 )
 
 func TestVariableLayout(t *testing.T) {
-	s := NewSpace(5, bdd.Config{}, 3)
+	s := NewSpace(5, bdd.Config{}, 3, nil)
 	if s.M.NumVars() != HeaderBits+5+3 {
 		t.Fatalf("vars = %d", s.M.NumVars())
 	}
@@ -25,7 +25,7 @@ func TestVariableLayout(t *testing.T) {
 }
 
 func TestPrefixEncoding(t *testing.T) {
-	s := NewSpace(2, bdd.Config{}, 0)
+	s := NewSpace(2, bdd.Config{}, 0, nil)
 	p := s.Prefix(route.MustParsePrefix("128.0.0.0/1"))
 	// Matches addresses with the top bit set.
 	if !s.M.Eval(p, func(v int) bool { return v == 0 }) {
@@ -50,7 +50,7 @@ func TestPrefixEncoding(t *testing.T) {
 }
 
 func TestAddrCube(t *testing.T) {
-	s := NewSpace(1, bdd.Config{}, 0)
+	s := NewSpace(1, bdd.Config{}, 0, nil)
 	const addr = 0xC0A80101 // 192.168.1.1
 	c := s.AddrCube(addr)
 	if !s.M.Eval(c, func(v int) bool { return addr&(1<<(31-v)) != 0 }) {
@@ -62,7 +62,7 @@ func TestAddrCube(t *testing.T) {
 }
 
 func TestAtMostKLinkFailures(t *testing.T) {
-	s := NewSpace(4, bdd.Config{}, 0)
+	s := NewSpace(4, bdd.Config{}, 0, nil)
 	f := s.AtMostKLinkFailures(1)
 	// All up: ok. One down: ok. Two down: no.
 	eval := func(down ...int) bool {
@@ -87,7 +87,7 @@ func TestAtMostKLinkFailures(t *testing.T) {
 }
 
 func TestTopoAndHeaderProjection(t *testing.T) {
-	s := NewSpace(3, bdd.Config{}, 0)
+	s := NewSpace(3, bdd.Config{}, 0, nil)
 	hdr := s.Prefix(route.MustParsePrefix("10.0.0.0/8"))
 	link := s.M.Var(s.LinkVarIndex(1))
 	f := s.M.And(hdr, link)
@@ -100,7 +100,7 @@ func TestTopoAndHeaderProjection(t *testing.T) {
 }
 
 func TestLinkProbabilities(t *testing.T) {
-	s := NewSpace(3, bdd.Config{}, 2)
+	s := NewSpace(3, bdd.Config{}, 2, nil)
 	p := s.LinkProbabilities(0.01)
 	if len(p) != s.M.NumVars() {
 		t.Fatal("length")
@@ -117,5 +117,80 @@ func TestLinkProbabilities(t *testing.T) {
 	}
 	if p[s.NodeVarIndex(0)] != 1 {
 		t.Fatal("node vars default to up")
+	}
+}
+
+func TestPermutedVariableLayout(t *testing.T) {
+	// perm[l] is the level offset of link l: link 0 → deepest slot.
+	perm := []int{3, 1, 0, 2}
+	s := NewSpace(4, bdd.Config{}, 2, perm)
+	if s.M.NumVars() != HeaderBits+4+2 {
+		t.Fatalf("vars = %d", s.M.NumVars())
+	}
+	for l, want := range perm {
+		if got := s.LinkVarIndex(topology.LinkID(l)); got != HeaderBits+want {
+			t.Errorf("LinkVarIndex(%d) = %d, want %d", l, got, HeaderBits+want)
+		}
+	}
+	// LinkOfVar is the exact inverse over the link band and rejects
+	// everything outside it.
+	for l := 0; l < 4; l++ {
+		got, ok := s.LinkOfVar(s.LinkVarIndex(topology.LinkID(l)))
+		if !ok || got != topology.LinkID(l) {
+			t.Errorf("LinkOfVar round-trip broke for link %d: %d, %t", l, got, ok)
+		}
+	}
+	for _, v := range []int{0, HeaderBits - 1, HeaderBits + 4, HeaderBits + 5} {
+		if _, ok := s.LinkOfVar(v); ok {
+			t.Errorf("LinkOfVar(%d) accepted a non-link variable", v)
+		}
+	}
+	// Node variables sit above the link band, unaffected by the perm.
+	if s.NodeVarIndex(0) != HeaderBits+4 {
+		t.Fatal("node variable layout under permutation")
+	}
+}
+
+func TestPermutationSemanticInvariance(t *testing.T) {
+	// Set-level constructs must be identical under any permutation of
+	// the link band: the variable SET is unchanged, only names move.
+	id := NewSpace(4, bdd.Config{}, 0, nil)
+	pm := NewSpace(4, bdd.Config{}, 0, []int{2, 0, 3, 1})
+	for k := 0; k <= 2; k++ {
+		a := id.M.SatCount(id.AtMostKLinkFailures(k), id.M.NumVars())
+		b := pm.M.SatCount(pm.AtMostKLinkFailures(k), pm.M.NumVars())
+		if a != b {
+			t.Errorf("AtMostK(%d) model count differs: %v vs %v", k, a, b)
+		}
+	}
+	// A single link literal relocates but keeps its meaning: evaluating
+	// "link 2 up" under a scenario gives the same answer in both spaces.
+	down := map[topology.LinkID]bool{2: true}
+	for _, s := range []*Space{id, pm} {
+		f := s.M.Var(s.LinkVarIndex(2))
+		got := s.M.Eval(f, func(v int) bool {
+			l, isLink := s.LinkOfVar(v)
+			return !(isLink && down[l])
+		})
+		if got {
+			t.Error("link-2-up literal should be false when link 2 is down")
+		}
+	}
+}
+
+func TestNewSpaceRejectsBadPerm(t *testing.T) {
+	for name, perm := range map[string][]int{
+		"short":     {0, 1},
+		"dup":       {0, 0, 1},
+		"out-range": {0, 1, 3},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: NewSpace accepted invalid perm %v", name, perm)
+				}
+			}()
+			NewSpace(3, bdd.Config{}, 0, perm)
+		}()
 	}
 }

@@ -2,7 +2,7 @@ package sre
 
 import (
 	"sre/internal/bdd"
-	"sre/internal/obs"
+	"sre/internal/src"
 	"sre/internal/symbol"
 )
 
@@ -11,15 +11,16 @@ import (
 type symbolSpace = symbol.Space
 
 // newSpace allocates the symbolic space for a network: 32 destination
-// header bits, one variable per link, and one node-failure variable per
-// router (used by probabilistic analyses with node failures). The
-// telemetry handle (may be nil) wires bdd.* counters and gauges into the
-// underlying manager; the interrupt hook (may be nil) is polled from the
-// manager's apply loops so cancellation reaches even the deepest BDD
-// recursions.
-func newSpace(net *Network, nodeLimit int, tel *obs.Telemetry, interrupt func() error, legacy bool) *symbolSpace {
+// header bits, one variable per link — laid out by the resolved
+// Options.VarOrder — and one node-failure variable per router (used by
+// probabilistic analyses with node failures). The telemetry handle (may
+// be nil) wires bdd.* counters and gauges into the underlying manager;
+// the interrupt hook (may be nil) is polled from the manager's apply
+// loops so cancellation reaches even the deepest BDD recursions.
+func newSpace(net *Network, opts src.Options) *symbolSpace {
 	return symbol.NewSpace(net.Topology.NumLinks(),
-		bdd.Config{NodeLimit: nodeLimit, Telemetry: tel, Interrupt: interrupt,
-			LegacyKernel: legacy},
-		net.Topology.NumRouters())
+		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
+			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel},
+		net.Topology.NumRouters(),
+		src.LinkOrder(net, opts).Perm)
 }

@@ -41,6 +41,7 @@ import (
 	"sre/internal/config"
 	"sre/internal/coord"
 	"sre/internal/obs"
+	"sre/internal/order"
 	"sre/internal/prob"
 	"sre/internal/resil"
 	"sre/internal/route"
@@ -169,6 +170,17 @@ type Options struct {
 	// is a kill switch and the baseline of `srebench -exp bddkernel`;
 	// results are identical either way, only throughput differs.
 	LegacyBDDKernel bool
+	// VarOrder selects the BDD link-variable order: "auto" (the
+	// default — a topology-aware order is chosen per network),
+	// "declaration" (link l at level 32+l, the seed layout), "bfs"
+	// (breadth-first locality), or "mindeg" (minimum-degree
+	// elimination). Orders are observationally identical — every query
+	// returns the same answer under every order, pinned by golden
+	// tests — but topology-aware orders can collapse peak BDD sizes on
+	// structured networks. The order participates in result-cache keys
+	// and is shipped to worker subprocesses, so changing it cleanly
+	// invalidates warm caches rather than corrupting them.
+	VarOrder string
 	// Store, when non-nil, is a persistent result cache (see OpenStore):
 	// each prefix is looked up before it is computed and published after
 	// — across in-process, parallel, and multi-process runs, which share
@@ -283,7 +295,7 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 		return v, nil
 	}
 	srcOpts.Prefixes = prefixes
-	sp := newSpace(net, opts.BDDNodeLimit, srcOpts.Telemetry, srcOpts.Interrupt, opts.LegacyBDDKernel)
+	sp := newSpace(net, srcOpts)
 	pipe, perr := analysis.RunWithSpace(net, sp, srcOpts)
 	if perr != nil {
 		return nil, perr
@@ -308,6 +320,10 @@ func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
 	// The shared checker is safe for the concurrent pipelines of a
 	// parallel run and costs the same on the sequential paths.
 	checker := resil.NewSharedChecker(opts.Context, opts.Timeout)
+	varOrder, err := order.Normalize(opts.VarOrder)
+	if err != nil {
+		return src.Options{}, nil, fmt.Errorf("sre: %w", err)
+	}
 	srcOpts := src.Options{
 		PruneK:          opts.MaxFailures,
 		Abstract:        opts.Abstract,
@@ -318,6 +334,7 @@ func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
 		BDDNodeLimit:    opts.BDDNodeLimit,
 		Parallelism:     opts.Parallelism,
 		LegacyBDDKernel: opts.LegacyBDDKernel,
+		VarOrder:        string(varOrder),
 	}
 	var prefixes []route.Prefix
 	for _, p := range opts.Prefixes {
