@@ -95,6 +95,7 @@ var (
 	gcMaxBytes  = flag.Int64("cache-max-bytes", 0, "cache gc: evict oldest records until the store fits this many bytes (0 = no size budget)")
 	gcMaxAge    = flag.Duration("cache-max-age", 0, "cache gc: evict records older than this (e.g. 720h; 0 = no age budget)")
 	varOrder    = flag.String("var-order", "", "BDD link-variable order: auto (default; topology-aware), declaration, bfs, or mindeg. Results are identical under every order; sizes and speed differ")
+	reorder     = flag.Bool("reorder", false, "enable dynamic BDD variable reordering (Rudell sifting) when diagrams grow past a threshold; results are identical, peak memory usually drops")
 )
 
 func usage() {
@@ -164,7 +165,7 @@ func main() {
 	opts := sre.Options{MaxFailures: *kFlag, Abstract: *abstract, NoECMP: *noECMP,
 		Telemetry: tel, Context: ctx, Timeout: *timeoutFlag, Resilient: *resilient,
 		BDDNodeLimit: *nodeLimit, Parallelism: *parallel, Workers: *workers,
-		VarOrder: *varOrder}
+		VarOrder: *varOrder, DynamicReorder: *reorder}
 	if *progress && !*quiet {
 		opts.Progress = sre.StderrProgress()
 	}
@@ -268,6 +269,9 @@ func runCache(rest []string) int {
 		}
 		fmt.Printf("checked %d records: %d ok, %d quarantined, %d stale temps reaped\n",
 			r.Checked, r.OK, r.Quarantined, r.TempsReaped)
+		for _, f := range r.Failures {
+			fmt.Printf("  quarantined %s (%s): %s\n", f.Key, f.Path, f.Reason)
+		}
 		if r.Quarantined > 0 {
 			return 1
 		}
@@ -409,11 +413,20 @@ func finish(v *sre.Verifier, tel *sre.Telemetry, start time.Time) {
 		}
 	} else if v != nil {
 		m := v.Metrics()
-		fmt.Fprintf(os.Stderr,
-			"summary: src %.3fs, spf %.3fs, %s PFECs, bdd peak %s nodes, cache hit %s, gc %d\n",
+		line := fmt.Sprintf(
+			"summary: src %.3fs, spf %.3fs, %s PFECs, bdd peak %s nodes, cache hit %s, gc %d, order %s",
 			m.SRCSeconds, m.SPFSeconds, obs.HumanCount(int64(m.NumPFECs)),
 			obs.HumanCount(int64(m.BDD.PeakNodes)),
-			obs.HumanPct(m.BDD.CacheHitRatio, 1), m.BDD.GCRuns)
+			obs.HumanPct(m.BDD.CacheHitRatio, 1), m.BDD.GCRuns, m.BDD.VarOrderMethod)
+		if m.BDD.ReorderEnabled {
+			if m.BDD.Reorders > 0 {
+				line += fmt.Sprintf(", reorder %d passes (%d sifts, %.2fs)",
+					m.BDD.Reorders, m.BDD.SiftedVars, m.BDD.ReorderSeconds)
+			} else {
+				line += ", reorder armed (never fired)"
+			}
+		}
+		fmt.Fprintln(os.Stderr, line)
 	} else {
 		rep := tel.Snapshot()
 		fmt.Fprintf(os.Stderr, "summary: total %.3fs, bdd peak %s nodes, gc %s\n",

@@ -52,11 +52,11 @@ func bddKernelExp(sc scale) {
 		// The kernel comparison pins declaration order on both sides so
 		// its goldens stay comparable to pre-order-sweep baselines.
 		ct.run("legacy", func() {
-			legacyCell = bddKernelCell(w.arity, w.k, w.nodeLimit, true, "declaration")
+			legacyCell = bddKernelCell(w.arity, w.k, w.nodeLimit, true, "declaration", false)
 			legacySec, legacySig, legacyErr = legacyCell.seconds, legacyCell.sig, legacyCell.err
 		})
 		ct.run("overhauled", func() {
-			newCell = bddKernelCell(w.arity, w.k, w.nodeLimit, false, "declaration")
+			newCell = bddKernelCell(w.arity, w.k, w.nodeLimit, false, "declaration", false)
 			newSec, newSig, newErr = newCell.seconds, newCell.sig, newCell.err
 		})
 		outcome := func(err error) string {
@@ -126,7 +126,7 @@ func bddOrderSweep(sc scale) {
 		for _, ord := range orders {
 			var cell bddKernelResult
 			ct.run("order:"+ord, func() {
-				cell = bddKernelCell(w.arity, w.k, 0, false, ord)
+				cell = bddKernelCell(w.arity, w.k, 0, false, ord, false)
 			})
 			identical := cell.err == nil && (ord == "declaration" || cell.sig == declSig)
 			speedup := 0.0
@@ -159,6 +159,112 @@ func bddOrderSweep(sc scale) {
 		gateOrderPeaks(w.name, declPeak, autoPeak)
 	}
 	t.print()
+	bddReorderSweep(sc)
+}
+
+// bddReorderSweep measures dynamic reordering: the same sweep on the
+// flat kernel under declaration order, with and without sifting armed,
+// unconstrained so PeakNodes reflects the diagrams rather than a cap.
+// The reordered cell's signature is cross-checked against the static
+// one — sifting relocates variables, it must never move an answer —
+// and both peak and post-sift (final live) node counts are recorded.
+//
+// With -order-baseline set, the reordered cell's wall clock is gated
+// against the committed baseline's own reorder:on cell: it must stay
+// within 10% (plus a half-second floor so millisecond cells cannot
+// flake the gate). The same-run static cell is reported but not gated
+// — sifting deliberately trades some wall clock for peak memory, and
+// that trade is pinned by the baseline, not by a fixed ratio.
+func bddReorderSweep(sc scale) {
+	header("BDD dynamic reordering — declaration order ± sifting, parallelism 1")
+	type wl struct {
+		name  string
+		arity int
+		k     int
+	}
+	wls := []wl{
+		{"FatTree(4) k=2 unconstrained", 4, 2},
+		{"FatTree(6) k=1 unconstrained", 6, 1},
+	}
+	t := newTable("dataset", "reorder", "time", "peak nodes", "post-sift nodes", "passes/sifts", "identical")
+	ct := newCellTimer()
+	for _, w := range wls {
+		var offSig string
+		var offSec float64
+		for _, on := range []bool{false, true} {
+			label := "off"
+			if on {
+				label = "on"
+			}
+			var cell bddKernelResult
+			ct.run("reorder:"+label, func() {
+				cell = bddKernelCell(w.arity, w.k, 0, false, "declaration", on)
+			})
+			identical := cell.err == nil && (!on || cell.sig == offSig)
+			speedup := 0.0
+			if !on {
+				offSig, offSec = cell.sig, cell.seconds
+			} else if cell.err == nil && cell.seconds > 0 {
+				speedup = offSec / cell.seconds
+			}
+			outcome := "ok"
+			if cell.err != nil {
+				outcome = "error"
+				fmt.Printf("  %s reorder:%s: %v\n", w.name, label, cell.err)
+			} else if !identical {
+				outcome = "mismatch"
+				gateFailed = true
+				fmt.Printf("  %s reorder:on: RESULT SIGNATURE DIVERGES FROM STATIC RUN\n", w.name)
+			}
+			record(benchRow{Experiment: "bddkernel", Dataset: w.name,
+				System: "reorder:" + label, K: w.k, Seconds: cell.seconds, Parallelism: 1,
+				PeakBDDNodes: cell.peakNodes, TotalBDDNodes: cell.liveNodes,
+				CacheHitRatio: cell.hitRatio, GCRuns: cell.gcRuns,
+				Speedup: speedup, ResultsIdentical: identical, Outcome: outcome})
+			t.addf("%s|%s|%.2fs|%d|%d|%d/%d|%v", w.name, label, cell.seconds,
+				cell.peakNodes, cell.liveNodes, cell.reorders, cell.siftedVars, identical)
+			if on && cell.err == nil {
+				gateReorderSeconds(w.name, cell.seconds)
+			}
+		}
+	}
+	t.print()
+}
+
+// gateReorderSeconds enforces the reordering wall-clock gate: with
+// -order-baseline set, the reordered run must stay within 10% (plus a
+// 0.5s small-cell floor) of the committed baseline's reorder:on cell
+// for the same dataset.
+func gateReorderSeconds(dataset string, onSec float64) {
+	slack := func(base float64) float64 {
+		s := base * 0.10
+		if s < 0.5 {
+			s = 0.5
+		}
+		return s
+	}
+	if *orderBaseline == "" {
+		return
+	}
+	base, err := loadBaselineRows(*orderBaseline)
+	if err != nil {
+		fmt.Printf("  GATE: cannot read -order-baseline: %v\n", err)
+		gateFailed = true
+		return
+	}
+	for _, r := range base {
+		if r.Experiment == "bddkernel" && r.Dataset == dataset &&
+			r.System == "reorder:on" && r.Seconds > 0 {
+			if onSec > r.Seconds+slack(r.Seconds) {
+				fmt.Printf("  GATE: %s reorder:on %.2fs regresses >10%% vs baseline %.2fs\n",
+					dataset, onSec, r.Seconds)
+				gateFailed = true
+			}
+			return
+		}
+	}
+	// No reorder rows in the baseline: the first recording run
+	// bootstraps them, nothing to gate against yet.
 }
 
 // gateOrderPeaks enforces the -order-baseline regression gate for one
@@ -208,14 +314,16 @@ func loadBaselineRows(path string) ([]benchRow, error) {
 
 // bddKernelResult is one measured kernel cell.
 type bddKernelResult struct {
-	seconds   float64
-	sig       string
-	peakNodes int
-	liveNodes int
-	hitRatio  float64
-	postGCHit float64
-	gcRuns    int
-	err       error
+	seconds    float64
+	sig        string
+	peakNodes  int
+	liveNodes  int
+	hitRatio   float64
+	postGCHit  float64
+	gcRuns     int
+	reorders   int // sifting passes that fired
+	siftedVars int
+	err        error
 }
 
 // bddKernelCell runs pipeline construction plus the FPA sweep the
@@ -223,11 +331,11 @@ type bddKernelResult struct {
 // shortest witness paths per PFEC), failure tolerances, and property
 // probabilities — on one kernel. Everything the signature hashes is
 // deterministic at parallelism 1.
-func bddKernelCell(arity, k, nodeLimit int, legacy bool, varOrder string) bddKernelResult {
+func bddKernelCell(arity, k, nodeLimit int, legacy bool, varOrder string, reorder bool) bddKernelResult {
 	net := workload.FatTree(arity, workload.BGP)
 	opts := sre.Options{MaxFailures: k, BDDNodeLimit: nodeLimit,
 		Parallelism: 1, LegacyBDDKernel: legacy, VarOrder: varOrder,
-		Timeout: *deadline}
+		DynamicReorder: reorder, Timeout: *deadline}
 	start := time.Now()
 	v, err := sre.NewVerifier(net, opts)
 	if err != nil {
@@ -276,13 +384,15 @@ func bddKernelCell(arity, k, nodeLimit int, legacy bool, varOrder string) bddKer
 	sort.Strings(lines)
 	met := v.Metrics()
 	res := bddKernelResult{
-		seconds:   sec,
-		sig:       strings.Join(lines, ";"),
-		peakNodes: met.BDD.PeakNodes,
-		liveNodes: met.BDD.LiveNodes,
-		hitRatio:  met.BDD.CacheHitRatio,
-		postGCHit: met.BDD.PostGCCacheHitRatio,
-		gcRuns:    met.BDD.GCRuns,
+		seconds:    sec,
+		sig:        strings.Join(lines, ";"),
+		peakNodes:  met.BDD.PeakNodes,
+		liveNodes:  met.BDD.LiveNodes,
+		hitRatio:   met.BDD.CacheHitRatio,
+		postGCHit:  met.BDD.PostGCCacheHitRatio,
+		gcRuns:     met.BDD.GCRuns,
+		reorders:   met.BDD.Reorders,
+		siftedVars: met.BDD.SiftedVars,
 	}
 	if math.IsNaN(res.hitRatio) {
 		res.hitRatio = 0

@@ -75,7 +75,8 @@ func Run(net *config.Network, opts src.Options) (*Pipeline, error) {
 func newRunSpace(net *config.Network, opts src.Options) *symbol.Space {
 	return symbol.NewSpace(net.Topology.NumLinks(),
 		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
-			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel},
+			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel,
+			Reorder: src.BDDReorder(opts)},
 		net.Topology.NumRouters()+MaxRiskGroups,
 		src.LinkOrder(net, opts).Perm)
 }

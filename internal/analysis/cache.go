@@ -39,7 +39,11 @@ import (
 // cacheFormatVersion stamps both the key preimage and the record body.
 // Bump it whenever the record layout, the wire forms, or the semantics
 // of any keyed option change: old records then simply miss.
-const cacheFormatVersion = 1
+// v2: serialized BDDs moved to the order-stamped BDD2 format (dynamic
+// reordering); BDD1 blobs must not decode under the old keys.
+// DynamicReorder itself is deliberately NOT keyed: reordering never
+// changes results, so static and reordered runs share records.
+const cacheFormatVersion = 2
 
 // CacheKey derives the content address of one prefix task's result.
 // Two runs compute the same key exactly when the task is guaranteed to

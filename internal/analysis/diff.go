@@ -219,7 +219,7 @@ func copyBDD(before, after *Pipeline, n bdd.Node) bdd.Node {
 		if r, ok := memo[x]; ok {
 			return r
 		}
-		v := mb.Level(x)
+		v := mb.VarOf(x)
 		// Translate link variables through the two spaces' order
 		// permutations; header and node/risk variables share indices.
 		if l, isLink := before.Sp.LinkOfVar(v); isLink {

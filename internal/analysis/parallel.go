@@ -160,6 +160,12 @@ func (pr *prefixRunner) run(domain []route.Prefix, workers int) error {
 		}
 		jobs = kept
 	}
+	// Cost estimation runs only for the prefixes that actually need
+	// computing: on a warm store most jobs resolve above, and ranking
+	// them would be wasted work.
+	for _, j := range jobs {
+		j.cost = PrefixCost(pr.net, j.pfx)
+	}
 	// Largest first: round-robin seeding then puts the most expensive
 	// prefixes at the head of every worker queue (LPT scheduling).
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].cost > jobs[j].cost })
@@ -199,9 +205,10 @@ type prefixJob struct {
 }
 
 func newPrefixJob(pr *prefixRunner, pfx route.Prefix) *prefixJob {
+	// cost stays zero here: the runner estimates it after the cache
+	// filter, only for jobs that will actually be scheduled.
 	j := &prefixJob{r: pr, pfx: pfx,
 		domain: taskDomain(pr.net, pfx),
-		cost:   PrefixCost(pr.net, pfx),
 		out:    PrefixOutcome{Prefix: pfx, EffectivePruneK: pr.base.PruneK},
 	}
 	if !pr.ladder {

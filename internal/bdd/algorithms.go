@@ -1,6 +1,10 @@
 package bdd
 
-import "math"
+import (
+	"cmp"
+	"math"
+	"slices"
+)
 
 // Graph algorithms over BDDs. These implement the paper's §3.3 and §6
 // reductions: failure tolerance is a shortest dashed-edge path to the
@@ -73,7 +77,7 @@ func (m *Manager) MinFalseWitness(f Node) ([]int, bool) {
 	var downVars []int
 	for n := f; n > True; {
 		if m.witMemo.down[n] {
-			downVars = append(downVars, int(m.lvl[n]))
+			downVars = append(downVars, int(m.level2var[m.lvl[n]]))
 		}
 		n = Node(m.witMemo.via[n])
 	}
@@ -129,7 +133,7 @@ func (m *Manager) probabilityRec(n Node) float64 {
 	if w, ok := m.f64memo.get(n); ok {
 		return w
 	}
-	p := m.probP[m.lvl[n]]
+	p := m.probP[m.level2var[m.lvl[n]]]
 	w := p*m.probabilityRec(Node(m.hi[n])) + (1-p)*m.probabilityRec(Node(m.lo[n]))
 	m.f64memo.put(n, w)
 	return w
@@ -171,11 +175,12 @@ func (m *Manager) AnySat(f Node) (map[int]bool, bool) {
 	}
 	out := make(map[int]bool)
 	for f > True {
+		v := int(m.level2var[m.lvl[f]])
 		if Node(m.hi[f]) != False {
-			out[int(m.lvl[f])] = true
+			out[v] = true
 			f = Node(m.hi[f])
 		} else {
-			out[int(m.lvl[f])] = false
+			out[v] = false
 			f = Node(m.lo[f])
 		}
 	}
@@ -196,7 +201,7 @@ func (m *Manager) AllSat(f Node, visit func(assignment map[int]bool) bool) {
 		case True:
 			return visit(assign)
 		}
-		v := int(m.lvl[n])
+		v := int(m.level2var[m.lvl[n]])
 		assign[v] = false
 		if !rec(Node(m.lo[n])) {
 			delete(assign, v)
@@ -216,7 +221,7 @@ func (m *Manager) AllSat(f Node, visit func(assignment map[int]bool) bool) {
 // Eval evaluates f under a complete assignment.
 func (m *Manager) Eval(f Node, assignment func(v int) bool) bool {
 	for f > True {
-		if assignment(int(m.lvl[f])) {
+		if assignment(int(m.level2var[m.lvl[f]])) {
 			f = Node(m.hi[f])
 		} else {
 			f = Node(m.lo[f])
@@ -236,8 +241,12 @@ func (m *Manager) AtMostKFalse(vars []int, k int) Node {
 	if k >= len(vars) {
 		return True
 	}
+	// Sort by CURRENT level: the rows build bottom-up, so construction
+	// must follow the live variable order.
 	sorted := append([]int(nil), vars...)
-	sortInts(sorted)
+	slices.SortFunc(sorted, func(a, b int) int {
+		return cmp.Compare(m.var2level[a], m.var2level[b])
+	})
 	// Build bottom-up over levels, for each budget 0..k.
 	// f(i, j) = true iff among vars[i:], at most j are false.
 	rows := make([]Node, k+1) // rows[j] = f(i, j), starts at i = len(vars)
@@ -251,7 +260,7 @@ func (m *Manager) AtMostKFalse(vars []int, k int) Node {
 			if j > 0 {
 				lo = rows[j-1]
 			}
-			next[j] = m.mk(int32(sorted[i]), lo, rows[j])
+			next[j] = m.mk(m.var2level[sorted[i]], lo, rows[j])
 		}
 		rows = next
 	}
@@ -307,7 +316,7 @@ func (m *Manager) SplitAtLevel(f Node, split int) []Decomposition {
 			out = append(out, Decomposition{Assignment: cp, Sub: n})
 			return
 		}
-		v := int(m.lvl[n])
+		v := int(m.level2var[m.lvl[n]])
 		assign[v] = false
 		rec(Node(m.lo[n]))
 		assign[v] = true

@@ -33,7 +33,7 @@ func (m *Manager) legacyCube(vars []int, values []bool) Node {
 func (m *Manager) legacyExistsSet(f Node, vars []int) Node {
 	set := make(map[int32]bool, len(vars))
 	for _, v := range vars {
-		set[int32(v)] = true
+		set[m.var2level[v]] = true
 	}
 	memo := make(map[Node]Node)
 	var rec func(Node) Node
@@ -74,7 +74,7 @@ func (m *Manager) legacySupport(f Node) []int {
 	rec(f)
 	out := make([]int, 0, len(vars))
 	for v := range vars {
-		out = append(out, int(v))
+		out = append(out, int(m.level2var[v]))
 	}
 	sortInts(out)
 	return out
@@ -159,7 +159,7 @@ func (m *Manager) legacyMinFalseWitness(f Node) ([]int, bool) {
 	for n := f; n > True; {
 		e := memo[n]
 		if e.down {
-			downVars = append(downVars, int(m.lvl[n]))
+			downVars = append(downVars, int(m.level2var[m.lvl[n]]))
 		}
 		n = e.via
 	}
@@ -179,7 +179,7 @@ func (m *Manager) legacyProbability(f Node, pTrue []float64) float64 {
 		if w, ok := memo[n]; ok {
 			return w
 		}
-		p := pTrue[m.lvl[n]]
+		p := pTrue[m.level2var[m.lvl[n]]]
 		w := p*rec(Node(m.hi[n])) + (1-p)*rec(Node(m.lo[n]))
 		memo[n] = w
 		return w

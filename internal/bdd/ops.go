@@ -333,7 +333,7 @@ func (m *Manager) Restrict(f Node, v int, value bool) Node {
 	if value {
 		op = opRestrictT
 	}
-	return m.restrictRec(f, int32(v), op)
+	return m.restrictRec(f, m.var2level[v], op)
 }
 
 func (m *Manager) restrictRec(f Node, lvl int32, op int32) Node {
@@ -545,7 +545,7 @@ func (m *Manager) supportRec(n Node, out []int) []int {
 	}
 	m.i32memo.put(n, 0)
 	if m.varSeen.mark(m.lvl[n]) {
-		out = append(out, int(m.lvl[n]))
+		out = append(out, int(m.level2var[m.lvl[n]]))
 	}
 	out = m.supportRec(Node(m.lo[n]), out)
 	return m.supportRec(Node(m.hi[n]), out)
@@ -566,7 +566,7 @@ func (m *Manager) Cube(vars []int, values []bool) Node {
 	if m.legacy {
 		return m.legacyCube(vars, values)
 	}
-	order := sortedVarOrder(vars)
+	order := m.sortedVarOrder(vars)
 	r := True
 	prev := -1
 	for i := len(order) - 1; i >= 0; i-- {
@@ -582,9 +582,9 @@ func (m *Manager) Cube(vars []int, values []bool) Node {
 		}
 		prev = v
 		if values[k] {
-			r = m.mk(int32(v), False, r)
+			r = m.mk(m.var2level[v], False, r)
 		} else {
-			r = m.mk(int32(v), r, False)
+			r = m.mk(m.var2level[v], r, False)
 		}
 	}
 	return r
@@ -593,7 +593,7 @@ func (m *Manager) Cube(vars []int, values []bool) Node {
 // CubeVars returns the positive cube over vars — the canonical varset
 // node used as ExistsCube/AndExists quantifier. Built bottom-up with mk.
 func (m *Manager) CubeVars(vars []int) Node {
-	order := sortedVarOrder(vars)
+	order := m.sortedVarOrder(vars)
 	r := True
 	prev := -1
 	for i := len(order) - 1; i >= 0; i-- {
@@ -602,22 +602,25 @@ func (m *Manager) CubeVars(vars []int) Node {
 			continue
 		}
 		prev = v
-		r = m.mk(int32(v), False, r)
+		r = m.mk(m.var2level[v], False, r)
 	}
 	return r
 }
 
-// sortedVarOrder returns the indices of vars sorted by ascending
-// variable, leaving vars itself untouched (callers pass shared slices).
-// Ties break on the original index so duplicate literals stay in
-// declaration order for Cube's adjacent-duplicate polarity check.
-func sortedVarOrder(vars []int) []int {
+// sortedVarOrder returns the indices of vars sorted by ascending CURRENT
+// level (cube construction is bottom-up, so the build order must follow
+// the live variable order, not variable identity), leaving vars itself
+// untouched (callers pass shared slices). Ties break on the original
+// index so duplicate literals stay in declaration order for Cube's
+// adjacent-duplicate polarity check — duplicates share a level, so they
+// remain adjacent after the sort.
+func (m *Manager) sortedVarOrder(vars []int) []int {
 	order := make([]int, len(vars))
 	for i := range order {
 		order[i] = i
 	}
 	slices.SortFunc(order, func(a, b int) int {
-		if c := cmp.Compare(vars[a], vars[b]); c != 0 {
+		if c := cmp.Compare(m.var2level[vars[a]], m.var2level[vars[b]]); c != 0 {
 			return c
 		}
 		return cmp.Compare(a, b)
@@ -630,7 +633,7 @@ func sortedVarOrder(vars []int) []int {
 func (m *Manager) cubeVarList(cube Node) []int {
 	var vars []int
 	for cube > True {
-		vars = append(vars, int(m.lvl[cube]))
+		vars = append(vars, int(m.level2var[m.lvl[cube]]))
 		cube = Node(m.hi[cube])
 	}
 	return vars

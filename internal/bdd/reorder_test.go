@@ -1,0 +1,371 @@
+package bdd
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"math/rand"
+	"testing"
+)
+
+// interleavedPairs builds f = OR over i of (a_i AND b_i) with the a
+// variables declared first (vars 0..n-1) and the b variables after
+// (vars n..2n-1) — the textbook order for which the BDD is exponential,
+// while the interleaved order a_0 b_0 a_1 b_1 … is linear (2n decision
+// nodes).
+func interleavedPairs(m *Manager, n int) Node {
+	f := False
+	for i := 0; i < n; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(n+i)))
+	}
+	return f
+}
+
+func TestSiftChainReachesOptimal(t *testing.T) {
+	const pairs = 7
+	m := New(Config{Vars: 2 * pairs})
+	f := m.Ref(interleavedPairs(m, pairs))
+	badSize := m.NodeCount(f)
+	if badSize < 1<<pairs {
+		t.Fatalf("pre-sift size %d, expected exponential (≥ %d)", badSize, 1<<pairs)
+	}
+	m.Reorder()
+	if got := m.NodeCount(f); got != 2*pairs {
+		t.Fatalf("post-sift size %d, want known optimum %d", got, 2*pairs)
+	}
+	// The optimal order interleaves each pair adjacently.
+	for i := 0; i < pairs; i++ {
+		la, lb := m.LevelOfVar(i), m.LevelOfVar(pairs+i)
+		if la+1 != lb {
+			t.Fatalf("pair %d not adjacent after sift: a at level %d, b at level %d", i, la, lb)
+		}
+	}
+	if m.Statistics().Reorders != 1 {
+		t.Fatalf("Reorders = %d, want 1", m.Statistics().Reorders)
+	}
+	// var2level must stay a bijection.
+	seen := make([]bool, m.NumVars())
+	for v := 0; v < m.NumVars(); v++ {
+		l := m.LevelOfVar(v)
+		if l < 0 || l >= m.NumVars() || seen[l] {
+			t.Fatalf("var2level is not a permutation at var %d → level %d", v, l)
+		}
+		seen[l] = true
+		if m.VarAtLevel(l) != v {
+			t.Fatalf("level2var inverse broken at var %d", v)
+		}
+	}
+}
+
+func TestReorderPreservesSemantics(t *testing.T) {
+	const vars = 10
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		m := New(Config{Vars: vars})
+		var roots []Node
+		var evals []func([]bool) bool
+		for i := 0; i < 6; i++ {
+			n, eval := buildRandom(m, r, 5)
+			roots = append(roots, m.Ref(n))
+			evals = append(evals, eval)
+		}
+		counts := make([]float64, len(roots))
+		for i, n := range roots {
+			counts[i] = m.SatCount(n, vars)
+		}
+		m.Reorder()
+		for bits := 0; bits < 1<<vars; bits++ {
+			a := make([]bool, vars)
+			for i := range a {
+				a[i] = bits>>i&1 == 1
+			}
+			for i, n := range roots {
+				if m.Eval(n, func(v int) bool { return a[v] }) != evals[i](a) {
+					t.Fatalf("trial %d root %d changed semantics after reorder", trial, i)
+				}
+			}
+		}
+		for i, n := range roots {
+			if got := m.SatCount(n, vars); got != counts[i] {
+				t.Fatalf("trial %d root %d SatCount %g after reorder, want %g", trial, i, got, counts[i])
+			}
+		}
+	}
+}
+
+func TestReorderedOpsStayConsistent(t *testing.T) {
+	// Var-facing operations built AFTER a reorder must agree with the
+	// pre-reorder function: Var/Cube/Restrict/Support/AtMostKFalse all
+	// translate through the moved level map.
+	const pairs = 5
+	const vars = 2 * pairs
+	m := New(Config{Vars: vars})
+	f := m.Ref(interleavedPairs(m, pairs))
+	m.Reorder()
+	if m.OrderIsIdentity() {
+		t.Fatal("reorder should have moved variables")
+	}
+	g := m.Ref(interleavedPairs(m, pairs))
+	if f != g {
+		t.Fatal("rebuilding the same function after reorder must hash-cons to the same node")
+	}
+	sup := m.Support(f)
+	if len(sup) != vars {
+		t.Fatalf("Support covers %d vars, want %d", len(sup), vars)
+	}
+	for i, v := range sup {
+		if v != i {
+			t.Fatalf("Support[%d] = %d, want %d (variable identity, not level)", i, v, i)
+		}
+	}
+	// Restricting a_0=1, b_0=1 makes f true.
+	if got := m.Restrict(m.Restrict(f, 0, true), pairs, true); got != True {
+		t.Fatalf("Restrict(a0=1,b0=1) = %v, want True", got)
+	}
+	// A cube over shuffled variables evaluates correctly.
+	cubeVars := []int{3, 0, pairs + 2, pairs}
+	cubeVals := []bool{true, false, true, true}
+	c := m.Cube(cubeVars, cubeVals)
+	ok := m.Eval(c, func(v int) bool {
+		for i, cv := range cubeVars {
+			if cv == v {
+				return cubeVals[i]
+			}
+		}
+		return true
+	})
+	if !ok {
+		t.Fatal("cube built after reorder rejects its own assignment")
+	}
+	all := make([]int, vars)
+	for i := range all {
+		all[i] = i
+	}
+	// at-most-1-false over every var: count of satisfying assignments is
+	// 1 + vars (all-true plus one per single flip).
+	amk := m.AtMostKFalse(all, 1)
+	if got, want := m.SatCount(amk, vars), float64(1+vars); got != want {
+		t.Fatalf("AtMostKFalse(1) SatCount = %g, want %g", got, want)
+	}
+}
+
+func TestReorderBandsRespected(t *testing.T) {
+	const header = 4
+	const links = 8
+	m := New(Config{Vars: header + links})
+	m.SetReorderBands([]int{header})
+	// Pair header var i with link var i so unconstrained sifting would
+	// interleave the bands.
+	f := False
+	for i := 0; i < header; i++ {
+		f = m.Or(f, m.And(m.Var(i), m.Var(header+i)))
+	}
+	m.Ref(f)
+	m.Reorder()
+	for v := 0; v < header; v++ {
+		if m.LevelOfVar(v) >= header {
+			t.Fatalf("header var %d crossed the band to level %d", v, m.LevelOfVar(v))
+		}
+	}
+	for v := header; v < header+links; v++ {
+		if m.LevelOfVar(v) < header {
+			t.Fatalf("link var %d crossed the band to level %d", v, m.LevelOfVar(v))
+		}
+	}
+}
+
+func TestReorderTriggersFromGCPath(t *testing.T) {
+	const pairs = 8
+	m := New(Config{Vars: 2 * pairs, Reorder: ReorderConfig{Threshold: 64}})
+	if !m.ReorderEnabled() {
+		t.Fatal("reorder should be armed")
+	}
+	f := m.Ref(interleavedPairs(m, pairs))
+	if m.MaybeGC(0) < 0 {
+		t.Fatal("unreachable")
+	}
+	st := m.Statistics()
+	if st.Reorders == 0 {
+		t.Fatal("MaybeGC above the threshold should have reordered")
+	}
+	if st.LastReorderAfter >= st.LastReorderBefore {
+		t.Fatalf("reorder did not shrink: %d → %d", st.LastReorderBefore, st.LastReorderAfter)
+	}
+	// Sifting is a greedy local search; near-optimal is enough here (the
+	// exact optimum is pinned by TestSiftChainReachesOptimal).
+	if got := m.NodeCount(f); got > 3*pairs {
+		t.Fatalf("post-trigger size %d, want near-optimal (≤ %d)", got, 3*pairs)
+	}
+	// The trigger rises after a pass so steady growth is not re-sifted
+	// on every collection.
+	want := 2 * m.nodes
+	if want < 64 {
+		want = 64
+	}
+	if m.reorderAt != want {
+		t.Fatalf("reorderAt = %d after pass, want %d (nodes %d)", m.reorderAt, want, m.nodes)
+	}
+}
+
+func TestSerializeAcrossOrders(t *testing.T) {
+	const pairs = 6
+	const vars = 2 * pairs
+	m := New(Config{Vars: vars})
+	f := m.Ref(interleavedPairs(m, pairs))
+	m.Reorder()
+	var buf bytes.Buffer
+	if err := m.Write(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+
+	// Slow path: a fresh manager still in declaration order.
+	m2 := New(Config{Vars: vars})
+	got, err := m2.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fast path: a manager sifted into the same order.
+	m3 := New(Config{Vars: vars})
+	g3 := m3.Ref(interleavedPairs(m3, pairs))
+	m3.Reorder()
+	got3, err := m3.Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got3[0] != g3 {
+		t.Fatal("same-order reload must hash-cons to the existing node")
+	}
+	for bits := 0; bits < 1<<vars; bits++ {
+		a := make([]bool, vars)
+		for i := range a {
+			a[i] = bits>>i&1 == 1
+		}
+		assign := func(v int) bool { return a[v] }
+		want := m.Eval(f, assign)
+		if m2.Eval(got[0], assign) != want {
+			t.Fatal("cross-order decode changed semantics")
+		}
+		if m3.Eval(got3[0], assign) != want {
+			t.Fatal("same-order decode changed semantics")
+		}
+	}
+}
+
+// validStream serializes a chain function over every variable, giving
+// corruption tests a stream where any stamp permutation that touches a
+// used variable must trip the ordering check.
+func validStream(t *testing.T, vars int) []byte {
+	t.Helper()
+	m := New(Config{Vars: vars})
+	f := True
+	for v := 0; v < vars; v++ {
+		f = m.And(f, m.Var(v))
+	}
+	var buf bytes.Buffer
+	if err := m.Write(&buf, m.Ref(f)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReadFailsClosedOnTornStream(t *testing.T) {
+	data := validStream(t, 8)
+	m := New(Config{Vars: 8})
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := m.Read(bytes.NewReader(data[:cut])); err == nil {
+			t.Fatalf("torn stream of %d/%d bytes decoded without error", cut, len(data))
+		}
+	}
+}
+
+func TestReadFailsClosedOnCorruptStamp(t *testing.T) {
+	data := validStream(t, 8)
+	// The stamp words start after magic(4) + varCount(4) + crc(4).
+	for i := 0; i < 8; i++ {
+		mut := append([]byte(nil), data...)
+		mut[12+4*i] ^= 0x5a
+		m := New(Config{Vars: 8})
+		if _, err := m.Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("stamp word %d corruption decoded without error", i)
+		}
+	}
+}
+
+func TestReadFailsClosedOnPermutedStamp(t *testing.T) {
+	// Swap two stamp levels AND fix the checksum: the forged stamp
+	// passes the CRC but the per-record writer-order monotonicity check
+	// must reject it.
+	data := append([]byte(nil), validStream(t, 8)...)
+	l2 := binary.LittleEndian.Uint32(data[12+4*2:])
+	l5 := binary.LittleEndian.Uint32(data[12+4*5:])
+	binary.LittleEndian.PutUint32(data[12+4*2:], l5)
+	binary.LittleEndian.PutUint32(data[12+4*5:], l2)
+	binary.LittleEndian.PutUint32(data[8:], crc32.ChecksumIEEE(data[12:12+4*8]))
+	m := New(Config{Vars: 8})
+	if _, err := m.Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("permuted level map decoded without error")
+	}
+}
+
+func TestReadRejectsNonPermutationStamp(t *testing.T) {
+	data := append([]byte(nil), validStream(t, 8)...)
+	// Duplicate a level (var 0 and var 1 both at level 1) and fix the CRC.
+	l1 := binary.LittleEndian.Uint32(data[12+4*1:])
+	binary.LittleEndian.PutUint32(data[12:], l1)
+	binary.LittleEndian.PutUint32(data[8:], crc32.ChecksumIEEE(data[12:12+4*8]))
+	m := New(Config{Vars: 8})
+	if _, err := m.Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("non-bijective level map decoded without error")
+	}
+}
+
+func FuzzReadBDD2(f *testing.F) {
+	seedVars := []int{4, 8}
+	for _, vars := range seedVars {
+		m := New(Config{Vars: vars})
+		r := rand.New(rand.NewSource(int64(vars)))
+		var roots []Node
+		for i := 0; i < 3; i++ {
+			n, _ := buildRandom(m, r, 4)
+			roots = append(roots, m.Ref(n))
+		}
+		var buf bytes.Buffer
+		if err := m.Write(&buf, roots...); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// A reordered writer too.
+		m.Reorder()
+		buf.Reset()
+		if err := m.Write(&buf, roots...); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	f.Add([]byte("BDD2"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m := New(Config{Vars: 8, NodeLimit: 1 << 16})
+		roots, err := m.Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be structurally valid nodes.
+		for _, n := range roots {
+			if n < 0 || int(n) >= len(m.lvl) {
+				t.Fatalf("decoded root %d out of range", n)
+			}
+			m.NodeCount(n)
+		}
+	})
+}
+
+func BenchmarkReorderFatPairs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		m := New(Config{Vars: 32})
+		f := m.Ref(interleavedPairs(m, 16))
+		_ = f
+		b.StartTimer()
+		m.Reorder()
+	}
+}

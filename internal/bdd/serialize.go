@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -12,18 +13,38 @@ import (
 // results (PFEC predicates, port predicates) across verifier runs on
 // unchanged configurations.
 //
+// Because managers reorder dynamically, records store the stable
+// VARIABLE tested by each node — not its level — and the header stamps
+// the writer's full var→level map, protected by a CRC so a torn or
+// permuted stamp fails closed instead of silently relabeling every node.
+// A reader whose current order matches the stamp rebuilds with straight
+// hash-consing; any other reader rebuilds each node as
+// Ite(Var(v), hi, lo), which is order-correct under every permutation.
+//
 // Format (little endian):
 //
-//	magic "BDD1" | uint32 varCount | uint32 nodeCount | uint32 rootCount
-//	nodeCount × (uint32 level, uint32 lo, uint32 hi)   — topological order
-//	rootCount × uint32                                  — root indices
+//	magic "BDD2" | uint32 varCount | uint32 orderCRC
+//	varCount × uint32                                — writer's var2level
+//	uint32 nodeCount | uint32 rootCount
+//	nodeCount × (uint32 var, uint32 lo, uint32 hi)   — children first
+//	rootCount × uint32                               — root indices
 //
 // Node indices 0 and 1 are the False/True terminals; serialized nodes
 // start at index 2.
 
-var magic = [4]byte{'B', 'D', 'D', '1'}
+var magic = [4]byte{'B', 'D', 'D', '2'}
 
-// Write serializes the given roots (and their shared subgraphs) to w.
+// orderCRC checksums a var→level stamp (little-endian word stream).
+func orderCRC(levels []uint32) uint32 {
+	buf := make([]byte, 4*len(levels))
+	for i, l := range levels {
+		binary.LittleEndian.PutUint32(buf[4*i:], l)
+	}
+	return crc32.ChecksumIEEE(buf)
+}
+
+// Write serializes the given roots (and their shared subgraphs) to w,
+// stamped with the manager's current variable order.
 func (m *Manager) Write(w io.Writer, roots ...Node) error {
 	bw := bufio.NewWriter(w)
 	// Collect reachable nodes in topological (children-first) order.
@@ -45,14 +66,20 @@ func (m *Manager) Write(w io.Writer, roots ...Node) error {
 	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
-	hdr := []uint32{uint32(m.vars), uint32(len(order)), uint32(len(roots))}
+	stamp := make([]uint32, m.vars)
+	for v, l := range m.var2level {
+		stamp[v] = uint32(l)
+	}
+	hdr := []uint32{uint32(m.vars), orderCRC(stamp)}
+	hdr = append(hdr, stamp...)
+	hdr = append(hdr, uint32(len(order)), uint32(len(roots)))
 	for _, v := range hdr {
 		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 			return err
 		}
 	}
 	for _, n := range order {
-		rec := []uint32{uint32(m.lvl[n]), index[Node(m.lo[n])], index[Node(m.hi[n])]}
+		rec := []uint32{uint32(m.level2var[m.lvl[n]]), index[Node(m.lo[n])], index[Node(m.hi[n])]}
 		for _, v := range rec {
 			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
 				return err
@@ -69,7 +96,12 @@ func (m *Manager) Write(w io.Writer, roots ...Node) error {
 
 // Read deserializes roots previously written with Write into this
 // manager (hash-consing against existing nodes). The manager must have
-// at least as many variables as the writer had.
+// at least as many variables as the writer had; the writer's variable
+// order may differ from the reader's, in which case each node is
+// rebuilt by Ite at the cost of a possible blowup under the new order.
+// Every structural invariant — stamp bijection and checksum, child
+// back-references, child monotonicity in the writer's order — is
+// validated, so corrupt streams fail instead of decoding garbage.
 func (m *Manager) Read(r io.Reader) ([]Node, error) {
 	br := bufio.NewReader(r)
 	var got [4]byte
@@ -79,8 +111,8 @@ func (m *Manager) Read(r io.Reader) ([]Node, error) {
 	if got != magic {
 		return nil, fmt.Errorf("bdd: bad magic %q", got)
 	}
-	var varCount, nodeCount, rootCount uint32
-	for _, p := range []*uint32{&varCount, &nodeCount, &rootCount} {
+	var varCount, wantCRC uint32
+	for _, p := range []*uint32{&varCount, &wantCRC} {
 		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 			return nil, err
 		}
@@ -88,11 +120,48 @@ func (m *Manager) Read(r io.Reader) ([]Node, error) {
 	if int(varCount) > m.vars {
 		return nil, fmt.Errorf("bdd: stream has %d variables, manager only %d", varCount, m.vars)
 	}
+	stamp := make([]uint32, varCount)
+	for i := range stamp {
+		if err := binary.Read(br, binary.LittleEndian, &stamp[i]); err != nil {
+			return nil, err
+		}
+	}
+	if crc := orderCRC(stamp); crc != wantCRC {
+		return nil, fmt.Errorf("bdd: level-map checksum mismatch (stamp %08x, header %08x)", crc, wantCRC)
+	}
+	// The stamp must be a bijection var→level; anything else scrambles
+	// the child-order validation below and the Ite rebuild.
+	seen := make([]bool, varCount)
+	for v, l := range stamp {
+		if l >= varCount || seen[l] {
+			return nil, fmt.Errorf("bdd: level map is not a permutation (var %d → level %d)", v, l)
+		}
+		seen[l] = true
+	}
+	// Fast path: the reader's current order matches the writer's stamp
+	// exactly, so each record hash-conses straight at its level.
+	sameOrder := int(varCount) == m.vars
+	if sameOrder {
+		for v, l := range stamp {
+			if m.var2level[v] != int32(l) {
+				sameOrder = false
+				break
+			}
+		}
+	}
+	var nodeCount, rootCount uint32
+	for _, p := range []*uint32{&nodeCount, &rootCount} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
 	nodes := make([]Node, nodeCount+2)
+	recLevel := make([]uint32, nodeCount+2) // writer level per record
 	nodes[0], nodes[1] = False, True
+	recLevel[0], recLevel[1] = uint32(terminalLevel), uint32(terminalLevel)
 	for i := uint32(0); i < nodeCount; i++ {
-		var lvl, lo, hi uint32
-		for _, p := range []*uint32{&lvl, &lo, &hi} {
+		var vr, lo, hi uint32
+		for _, p := range []*uint32{&vr, &lo, &hi} {
 			if err := binary.Read(br, binary.LittleEndian, p); err != nil {
 				return nil, err
 			}
@@ -100,15 +169,25 @@ func (m *Manager) Read(r io.Reader) ([]Node, error) {
 		if lo >= i+2 || hi >= i+2 {
 			return nil, fmt.Errorf("bdd: node %d references forward child", i)
 		}
-		if lvl >= varCount {
-			return nil, fmt.Errorf("bdd: node %d has level %d out of range", i, lvl)
+		if vr >= varCount {
+			return nil, fmt.Errorf("bdd: node %d has variable %d out of range", i, vr)
 		}
-		// Children are at strictly greater levels (reduced ordered BDD).
-		loN, hiN := nodes[lo], nodes[hi]
-		if m.Level(loN) <= int(lvl) || m.Level(hiN) <= int(lvl) {
-			return nil, fmt.Errorf("bdd: node %d violates variable ordering", i)
+		if lo == hi {
+			return nil, fmt.Errorf("bdd: node %d is unreduced (lo == hi)", i)
 		}
-		nodes[i+2] = m.mk(int32(lvl), loN, hiN)
+		// Children sit at strictly greater levels in the WRITER's order
+		// (reduced ordered BDD); a permuted stamp that survives the CRC
+		// by construction cannot also satisfy this for every record.
+		wl := stamp[vr]
+		if recLevel[lo] <= wl || recLevel[hi] <= wl {
+			return nil, fmt.Errorf("bdd: node %d violates the stamped variable ordering", i)
+		}
+		recLevel[i+2] = wl
+		if sameOrder {
+			nodes[i+2] = m.mk(m.var2level[vr], nodes[lo], nodes[hi])
+		} else {
+			nodes[i+2] = m.Ite(m.Var(int(vr)), nodes[hi], nodes[lo])
+		}
 	}
 	roots := make([]Node, rootCount)
 	for i := range roots {

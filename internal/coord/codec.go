@@ -42,6 +42,7 @@ func optionsToWire(opts src.Options, ladder bool, lad analysis.LadderOptions, he
 		BDDNodeLimit:         opts.BDDNodeLimit,
 		LegacyKernel:         opts.LegacyBDDKernel,
 		VarOrder:             opts.VarOrder,
+		DynamicReorder:       opts.DynamicReorder,
 		Ladder:               ladder,
 		DisableBudgetHalving: lad.DisableBudgetHalving,
 		HeartbeatMS:          int(heartbeat.Milliseconds()),
@@ -62,6 +63,7 @@ func optionsFromWire(wo wireOptions) src.Options {
 		BDDNodeLimit:    wo.BDDNodeLimit,
 		LegacyBDDKernel: wo.LegacyKernel,
 		VarOrder:        wo.VarOrder,
+		DynamicReorder:  wo.DynamicReorder,
 		Parallelism:     1,
 	}
 }

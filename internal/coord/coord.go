@@ -104,6 +104,7 @@ func (o *Options) defaults() {
 type taskState struct {
 	seq         int
 	pfx         route.Prefix
+	cost        int64  // LPT cost estimate; 0 for cache-settled tasks
 	key         string // cache key; "" when the run carries no cache
 	attempt     int    // next attempt number (= failed attempts so far)
 	notBefore   time.Time
@@ -220,9 +221,6 @@ func (c *coordinator) teardown() {
 }
 
 func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error) {
-	// Task order: cost-aware LPT, exactly the order prefixRunner seeds
-	// its pool queues with — the most expensive prefixes dispatch first,
-	// and fault plans keyed by Seq hit the same prefixes every run.
 	seen := make(map[route.Prefix]bool, len(prefixes))
 	for _, pfx := range prefixes {
 		if seen[pfx] {
@@ -231,17 +229,12 @@ func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error
 		seen[pfx] = true
 		c.tasks = append(c.tasks, &taskState{pfx: pfx})
 	}
-	sort.SliceStable(c.tasks, func(i, j int) bool {
-		return analysis.PrefixCost(c.net, c.tasks[i].pfx) > analysis.PrefixCost(c.net, c.tasks[j].pfx)
-	})
-	for i, t := range c.tasks {
-		t.seq = i
-	}
 
 	// Pre-dispatch cache pass: a hit settles the task without a worker
 	// round-trip; misses carry their key so workers consult and publish
 	// the shared store themselves. Lookups run before any spawn, so a
-	// fully warm cache never forks a single child.
+	// fully warm cache never forks a single child. Running the pass
+	// before the LPT sort lets cost estimation skip resolved tasks.
 	if c.opts.Cache != nil {
 		for _, t := range c.tasks {
 			t.key = analysis.CacheKey(c.net, c.opts.Verify, t.pfx, c.opts.Resilient, c.opts.Ladder)
@@ -254,6 +247,23 @@ func (c *coordinator) run(prefixes []route.Prefix) (*analysis.Partitioned, error
 				t.outcome, t.pipes, t.done = out, pipes, true
 			}
 		}
+	}
+
+	// Task order: cost-aware LPT, exactly the order prefixRunner seeds
+	// its pool queues with — the most expensive prefixes dispatch first,
+	// and fault plans keyed by Seq hit the same prefixes every run (for
+	// a given store state). Costs are estimated once per task that still
+	// needs computing; settled tasks sink to the tail and never dispatch.
+	for _, t := range c.tasks {
+		if !t.done {
+			t.cost = analysis.PrefixCost(c.net, t.pfx)
+		}
+	}
+	sort.SliceStable(c.tasks, func(i, j int) bool {
+		return c.tasks[i].cost > c.tasks[j].cost
+	})
+	for i, t := range c.tasks {
+		t.seq = i
 	}
 
 	c.workers = make([]*workerProc, c.opts.Workers)

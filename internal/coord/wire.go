@@ -107,6 +107,7 @@ type wireOptions struct {
 	BDDNodeLimit         int    `json:"bdd_node_limit,omitempty"`
 	LegacyKernel         bool   `json:"legacy_kernel,omitempty"`
 	VarOrder             string `json:"var_order,omitempty"`
+	DynamicReorder       bool   `json:"dynamic_reorder,omitempty"`
 	Ladder               bool  `json:"ladder,omitempty"`
 	DisableBudgetHalving bool  `json:"disable_budget_halving,omitempty"`
 	HeartbeatMS          int   `json:"heartbeat_ms,omitempty"`

@@ -82,6 +82,15 @@ type Options struct {
 	// spaces created on the engine's behalf (see bdd.Config.
 	// LegacyKernel). Results are identical; only throughput differs.
 	LegacyBDDKernel bool
+	// DynamicReorder arms Rudell sifting in BDD spaces created on the
+	// engine's behalf (see bdd.Config.Reorder): when live nodes after a
+	// GC exceed bdd.DefaultReorderThreshold, the manager sifts variables
+	// to smaller levels within the header/link/extra bands. Results are
+	// identical — node handles survive sifting and serialized BDDs stamp
+	// the writer's level map — only diagram sizes and throughput differ.
+	// Unlike VarOrder it does NOT enter cache keys: reordered and static
+	// runs share store entries, which decode correctly under any order.
+	DynamicReorder bool
 	// VarOrder selects the link-variable order of spaces created on the
 	// engine's behalf: "auto" (default; the order package picks the
 	// lowest-cost candidate per topology), "declaration" (the seed
@@ -212,8 +221,19 @@ type advEntry struct {
 
 // New creates an engine over net, allocating a fresh symbolic space.
 func New(net *config.Network, opts Options) *Engine {
-	sp := symbol.NewSpace(net.Topology.NumLinks(), bdd.Config{}, 0, LinkOrder(net, opts).Perm)
+	sp := symbol.NewSpace(net.Topology.NumLinks(),
+		bdd.Config{Reorder: BDDReorder(opts)}, 0, LinkOrder(net, opts).Perm)
 	return NewWithSpace(net, sp, opts)
+}
+
+// BDDReorder resolves the bdd.Config.Reorder field for spaces created
+// on the engine's behalf: the default sifting parameters when
+// opts.DynamicReorder is set, disabled otherwise.
+func BDDReorder(opts Options) bdd.ReorderConfig {
+	if !opts.DynamicReorder {
+		return bdd.ReorderConfig{}
+	}
+	return bdd.ReorderConfig{Threshold: bdd.DefaultReorderThreshold}
 }
 
 // LinkOrder resolves the link-variable order opts requests for net's

@@ -28,6 +28,21 @@ type FsckReport struct {
 	OK          int `json:"ok"`
 	Quarantined int `json:"quarantined"`
 	TempsReaped int `json:"temps_reaped"`
+	// Failures details each quarantined record: one entry per failure,
+	// in path order.
+	Failures []FsckFailure `json:"failures,omitempty"`
+}
+
+// FsckFailure is one record a Verify pass quarantined.
+type FsckFailure struct {
+	// Key is the record's content-address key (its filename stem).
+	Key string `json:"key"`
+	// Path is the record file the failure was found at (its location
+	// before quarantine moved it).
+	Path string `json:"path"`
+	// Reason is the validation error: a checksum mismatch, a size-cap
+	// violation, or a structural decode failure.
+	Reason string `json:"reason"`
 }
 
 // GCOptions bounds a GC pass. Zero values leave that axis unbounded.
@@ -114,6 +129,8 @@ func (s *Store) Verify() (FsckReport, error) {
 			key := strings.TrimSuffix(filepath.Base(e.path), recordExt)
 			s.Quarantine(key, rerr.Error())
 			rep.Quarantined++
+			rep.Failures = append(rep.Failures,
+				FsckFailure{Key: key, Path: e.path, Reason: rerr.Error()})
 			continue
 		}
 		rep.OK++

@@ -143,6 +143,23 @@ type BDDMetrics struct {
 	// figures mean cache warmth survives collections.
 	PreGCCacheHitRatio  float64 `json:"pre_gc_cache_hit_ratio"`
 	PostGCCacheHitRatio float64 `json:"post_gc_cache_hit_ratio"`
+	// VarOrderMethod is the resolved static variable-order method the
+	// run laid its spaces out with (never "auto": auto resolves to a
+	// concrete method per topology).
+	VarOrderMethod string `json:"var_order_method"`
+	// ReorderEnabled records whether dynamic reordering was armed
+	// (Options.DynamicReorder); Reorders counts the sifting passes that
+	// actually fired across all managers. SiftedVars and SiftSwaps count
+	// variables sifted and adjacent-level swaps; ReorderSeconds is the
+	// wall time spent sifting. LastReorderBefore/After are the live node
+	// counts around the most recent pass (summed over managers).
+	ReorderEnabled    bool    `json:"reorder_enabled,omitempty"`
+	Reorders          int     `json:"reorders,omitempty"`
+	SiftedVars        int     `json:"sifted_vars,omitempty"`
+	SiftSwaps         int     `json:"sift_swaps,omitempty"`
+	ReorderSeconds    float64 `json:"reorder_seconds,omitempty"`
+	LastReorderBefore int     `json:"last_reorder_before,omitempty"`
+	LastReorderAfter  int     `json:"last_reorder_after,omitempty"`
 }
 
 // Metrics returns the metrics of the verifier's symbolic execution. The
@@ -155,6 +172,8 @@ func (v *Verifier) Metrics() MetricsReport {
 		NumRouters: v.net.Topology.NumRouters(),
 		NumLinks:   v.net.Topology.NumLinks(),
 	}
+	r.BDD.VarOrderMethod = v.varOrder
+	r.BDD.ReorderEnabled = v.reorder
 	var hitsAtGC, missAtGC uint64
 	for _, pipe := range v.allPipes() {
 		bst := pipe.Sp.M.Statistics()
@@ -181,6 +200,12 @@ func (v *Verifier) Metrics() MetricsReport {
 		r.BDD.AxCacheMisses += bst.AxCacheMiss
 		r.BDD.CacheRetained += bst.CacheRetained
 		r.BDD.CacheInvalidated += bst.CacheInvalidated
+		r.BDD.Reorders += bst.Reorders
+		r.BDD.SiftedVars += bst.SiftedVars
+		r.BDD.SiftSwaps += bst.SiftSwaps
+		r.BDD.ReorderSeconds += float64(bst.ReorderNanos) / 1e9
+		r.BDD.LastReorderBefore += bst.LastReorderBefore
+		r.BDD.LastReorderAfter += bst.LastReorderAfter
 		hitsAtGC += bst.HitsAtLastGC
 		missAtGC += bst.MissAtLastGC
 	}

@@ -1,0 +1,122 @@
+package sre_test
+
+// Dynamic-reordering invariance through the public API. Sifting changes
+// how BDDs are laid out mid-run, never what they mean: a -reorder run
+// must report byte-identical results to the static baseline at every
+// parallelism level and worker count, and — because DynamicReorder does
+// not participate in cache keys — static and reordered runs must share
+// persistent-store records cleanly in both directions.
+
+import (
+	"reflect"
+	"testing"
+
+	"sre"
+	"sre/internal/workload"
+)
+
+// fatTreeReorderRun is fatTreeOrderRun with dynamic reordering toggled.
+func fatTreeReorderRun(t *testing.T, reorder bool, parallelism, workers int) ([]sre.PrefixOutcome, int, []sre.PrefixResult, sre.MetricsReport) {
+	t.Helper()
+	net := workload.FatTree(4, workload.BGP)
+	v, err := sre.NewVerifier(net, sre.Options{
+		MaxFailures: 2, Resilient: true, DynamicReorder: reorder,
+		Parallelism: parallelism, Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	outs := v.Outcomes()
+	m := v.Metrics()
+	sweep, err := v.FailureTolerances("edge0-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return outs, m.NumPFECs, sweep, m
+}
+
+// TestReorderParity pins the tentpole's public contract: a run with
+// dynamic reordering armed reports the same outcomes, PFEC counts, and
+// tolerance sweeps as the static baseline at parallelism 1, 2, and 8.
+func TestReorderParity(t *testing.T) {
+	baseOuts, basePFECs, baseSweep, _ := fatTreeReorderRun(t, false, 1, 0)
+	if len(baseOuts) == 0 {
+		t.Fatal("baseline reported no outcomes")
+	}
+	for _, par := range []int{1, 2, 8} {
+		outs, pfecs, sweep, m := fatTreeReorderRun(t, true, par, 0)
+		name := "reorder/par=" + itoa(par)
+		if !reflect.DeepEqual(outs, baseOuts) {
+			t.Errorf("%s: outcomes diverge\n got %+v\nwant %+v", name, outs, baseOuts)
+		}
+		if pfecs != basePFECs {
+			t.Errorf("%s: NumPFECs = %d, want %d", name, pfecs, basePFECs)
+		}
+		if !reflect.DeepEqual(sweep, baseSweep) {
+			t.Errorf("%s: tolerance sweep diverges", name)
+		}
+		if !m.BDD.ReorderEnabled {
+			t.Errorf("%s: metrics do not report reordering armed", name)
+		}
+		if m.BDD.VarOrderMethod == "" || m.BDD.VarOrderMethod == "auto" {
+			t.Errorf("%s: metrics report unresolved order method %q", name, m.BDD.VarOrderMethod)
+		}
+	}
+}
+
+// TestReorderWorkersParity runs the fleet path: the DynamicReorder flag
+// crosses the init frame, workers may sift their managers mid-task, and
+// the order-stamped serialized results must decode identically on the
+// coordinator side.
+func TestReorderWorkersParity(t *testing.T) {
+	baseOuts, basePFECs, baseSweep, _ := fatTreeReorderRun(t, false, 1, 0)
+	outs, pfecs, sweep, _ := fatTreeReorderRun(t, true, 0, 2)
+	if !reflect.DeepEqual(outs, baseOuts) {
+		t.Error("workers=2 reorder: outcomes diverge")
+	}
+	if pfecs != basePFECs {
+		t.Errorf("workers=2 reorder: NumPFECs = %d, want %d", pfecs, basePFECs)
+	}
+	if !reflect.DeepEqual(sweep, baseSweep) {
+		t.Error("workers=2 reorder: tolerance sweep diverges")
+	}
+}
+
+// TestReorderCacheShared pins the cache contract: DynamicReorder is NOT
+// part of the cache key — records published by a static run replay
+// under a reordered run (and vice versa) with zero quarantines, because
+// the order-stamped serialization format decodes under any level map.
+func TestReorderCacheShared(t *testing.T) {
+	dir := t.TempDir()
+	run := func(reorder bool) ([]sre.PrefixOutcome, sre.StoreMetrics) {
+		st, err := sre.OpenStore(dir, sre.StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer st.Close()
+		net := workload.FatTree(4, workload.BGP)
+		v, err := sre.NewVerifier(net, sre.Options{
+			MaxFailures: 2, Resilient: true, Store: st, DynamicReorder: reorder})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer v.Release()
+		return v.Outcomes(), st.Metrics()
+	}
+
+	coldOuts, coldM := run(false)
+	if coldM.Puts == 0 {
+		t.Fatalf("cold run published nothing: %+v", coldM)
+	}
+
+	warmOuts, warmM := run(true)
+	if warmM.Hits == 0 {
+		t.Errorf("reordered run missed records published by the static run: %+v", warmM)
+	}
+	if warmM.Quarantined != 0 {
+		t.Errorf("reordered run quarantined %d shared records", warmM.Quarantined)
+	}
+	if !reflect.DeepEqual(warmOuts, coldOuts) {
+		t.Error("warm reordered run diverges from cold static results")
+	}
+}

@@ -20,7 +20,8 @@ type symbolSpace = symbol.Space
 func newSpace(net *Network, opts src.Options) *symbolSpace {
 	return symbol.NewSpace(net.Topology.NumLinks(),
 		bdd.Config{NodeLimit: opts.BDDNodeLimit, Telemetry: opts.Telemetry,
-			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel},
+			Interrupt: opts.Interrupt, LegacyKernel: opts.LegacyBDDKernel,
+			Reorder: src.BDDReorder(opts)},
 		net.Topology.NumRouters(),
 		src.LinkOrder(net, opts).Perm)
 }

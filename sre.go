@@ -181,6 +181,16 @@ type Options struct {
 	// and is shipped to worker subprocesses, so changing it cleanly
 	// invalidates warm caches rather than corrupting them.
 	VarOrder string
+	// DynamicReorder arms dynamic BDD variable reordering (Rudell
+	// sifting): when live nodes after a garbage collection stay above a
+	// threshold, the manager sifts variables toward levels that shrink
+	// the diagram, within the header/link band boundaries. Results are
+	// byte-identical with or without it — node handles survive sifting
+	// and serialized BDDs carry the writer's level map — so unlike
+	// VarOrder it does not participate in result-cache keys: reordered
+	// and static runs share store entries. Peak node counts and sifting
+	// activity are reported by Verifier.Metrics under BDD.
+	DynamicReorder bool
 	// Store, when non-nil, is a persistent result cache (see OpenStore):
 	// each prefix is looked up before it is computed and published after
 	// — across in-process, parallel, and multi-process runs, which share
@@ -229,6 +239,11 @@ type Verifier struct {
 	// store is the persistent result cache the run consulted, if any
 	// (surfaced in Metrics).
 	store *Store
+	// varOrder is the RESOLVED static variable-order method (never
+	// "auto"); reorder records whether dynamic reordering was armed.
+	// Both surface in Metrics and the CLI summary.
+	varOrder string
+	reorder  bool
 }
 
 // NewVerifier symbolically executes the network (symbolic route
@@ -239,7 +254,8 @@ func NewVerifier(net *Network, opts Options) (v *Verifier, err error) {
 	if err != nil {
 		return nil, err
 	}
-	v = &Verifier{net: net, tel: srcOpts.Telemetry, prefixes: prefixes, store: opts.Store}
+	v = &Verifier{net: net, tel: srcOpts.Telemetry, prefixes: prefixes, store: opts.Store,
+		varOrder: src.LinkOrder(net, srcOpts).ID(), reorder: opts.DynamicReorder}
 	defer func() {
 		if err != nil {
 			v = nil
@@ -335,6 +351,7 @@ func buildOpts(opts Options) (src.Options, []route.Prefix, error) {
 		Parallelism:     opts.Parallelism,
 		LegacyBDDKernel: opts.LegacyBDDKernel,
 		VarOrder:        string(varOrder),
+		DynamicReorder:  opts.DynamicReorder,
 	}
 	var prefixes []route.Prefix
 	for _, p := range opts.Prefixes {

@@ -81,6 +81,10 @@ func (st *Store) Stats() (StoreStats, error) { return st.s.Stats() }
 // StoreFsckReport is the result of a full store verification pass.
 type StoreFsckReport = store.FsckReport
 
+// StoreFsckFailure details one record quarantined by Verify: its key,
+// the file it lived at, and the validation error.
+type StoreFsckFailure = store.FsckFailure
+
 // Verify re-reads and re-checksums every record (a full fsck),
 // quarantining any that fail and reaping stale temp files.
 func (st *Store) Verify() (StoreFsckReport, error) { return st.s.Verify() }
